@@ -1,0 +1,72 @@
+"""Ablation: randomize-before-bucketize vs bucketize-before-randomize.
+
+The paper (Section 5.4) states the two variants behave very similarly but
+omits the comparison for space. Both variants are implemented here, so this
+bench records it.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SEED, save_series
+
+from repro.core.pipeline import DiscreteSWEstimator, SWEstimator
+from repro.experiments.runner import ResultRow
+from repro.metrics.distances import ks_distance, wasserstein_distance
+
+_VARIANTS = {
+    "randomize-before-bucketize": lambda eps: SWEstimator(eps, 256),
+    "bucketize-before-randomize": lambda eps: DiscreteSWEstimator(eps, 256),
+}
+_EPSILONS = (0.5, 1.0, 2.5)
+
+
+@pytest.fixture(scope="module")
+def variant_rows(beta_dataset_bench):
+    truth = beta_dataset_bench.histogram(256)
+    rows = []
+    for name, factory in _VARIANTS.items():
+        for eps in _EPSILONS:
+            w1s, kss = [], []
+            for seed in range(3):
+                out = factory(eps).fit(
+                    beta_dataset_bench.values, rng=np.random.default_rng(seed)
+                )
+                w1s.append(wasserstein_distance(truth, out))
+                kss.append(ks_distance(truth, out))
+            rows.append(
+                ResultRow("beta", name, eps, "w1", float(np.mean(w1s)),
+                          float(np.std(w1s)), 3)
+            )
+            rows.append(
+                ResultRow("beta", name, eps, "ks", float(np.mean(kss)),
+                          float(np.std(kss)), 3)
+            )
+    return rows
+
+
+@pytest.mark.parametrize("variant", tuple(_VARIANTS))
+def test_variant_fit(benchmark, beta_dataset_bench, variant):
+    rng = np.random.default_rng(0)
+    est = _VARIANTS[variant](1.0)
+    out = benchmark.pedantic(
+        lambda: est.fit(beta_dataset_bench.values, rng=rng), rounds=2, iterations=1
+    )
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_discretization_ablation_series(benchmark, results_dir, variant_rows):
+    benchmark.pedantic(lambda: variant_rows, rounds=1, iterations=1)
+    save_series(rows=variant_rows, name="ablation_discretization",
+                results_dir=results_dir,
+                title="Ablation: R-B vs B-R Square Wave (beta)")
+    # Paper Section 5.4: 'we found that they are very similar'.
+    for eps in _EPSILONS:
+        w1 = {
+            r.method: r.mean
+            for r in variant_rows
+            if r.metric == "w1" and r.epsilon == eps
+        }
+        rb = w1["randomize-before-bucketize"]
+        br = w1["bucketize-before-randomize"]
+        assert abs(rb - br) < 0.6 * max(rb, br), (eps, rb, br)

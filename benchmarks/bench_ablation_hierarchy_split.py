@@ -1,0 +1,61 @@
+"""Ablation: population splitting vs budget splitting in HH (paper §4.2).
+
+The paper states that under LDP one should divide the *population* among
+tree levels (whole budget per report) rather than divide the *budget*
+(every user reports every level at eps/h). Both are implemented; this bench
+records the gap.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_N, BENCH_SEED, save_series
+
+from repro.experiments.runner import ResultRow
+from repro.hierarchy.hh import HierarchicalHistogram
+from repro.metrics.distances import wasserstein_distance
+from repro.postprocess.norm_sub import norm_sub
+
+_EPSILONS = (0.5, 1.0, 2.5)
+_D = 256
+
+
+@pytest.fixture(scope="module")
+def split_rows(beta_dataset_bench):
+    truth = beta_dataset_bench.histogram(_D)
+    rows = []
+    for split in ("population", "budget"):
+        for eps in _EPSILONS:
+            errors = []
+            for seed in range(3):
+                hh = HierarchicalHistogram(eps, d=_D, branching=4, split=split)
+                leaves = hh.fit(
+                    beta_dataset_bench.values, rng=np.random.default_rng(seed)
+                )
+                errors.append(wasserstein_distance(truth, norm_sub(leaves)))
+            rows.append(
+                ResultRow("beta", f"hh-{split}", eps, "w1",
+                          float(np.mean(errors)), float(np.std(errors)), 3)
+            )
+    return rows
+
+
+@pytest.mark.parametrize("split", ("population", "budget"))
+def test_split_fit(benchmark, beta_dataset_bench, split):
+    rng = np.random.default_rng(0)
+    hh = HierarchicalHistogram(1.0, d=_D, branching=4, split=split)
+    leaves = benchmark.pedantic(
+        lambda: hh.fit(beta_dataset_bench.values, rng=rng), rounds=2, iterations=1
+    )
+    assert leaves.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_hierarchy_split_series(benchmark, results_dir, split_rows):
+    benchmark.pedantic(lambda: split_rows, rounds=1, iterations=1)
+    save_series(rows=split_rows, name="ablation_hierarchy_split",
+                results_dir=results_dir,
+                title="Ablation: HH population vs budget splitting (beta)")
+    # Paper claim: population splitting wins at every epsilon under LDP.
+    for eps in _EPSILONS:
+        w1 = {r.method: r.mean for r in split_rows if r.epsilon == eps}
+        assert w1["hh-population"] < w1["hh-budget"], (eps, w1)

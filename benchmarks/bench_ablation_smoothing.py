@@ -1,0 +1,62 @@
+"""Ablation: smoothing strength in EMS (not a paper figure).
+
+DESIGN.md calls out the binomial (1,2,1)/4 kernel as a design choice; this
+bench sweeps the kernel order (0 = plain EM step, 2 = paper, 4/6 = stronger)
+to show the paper's choice sits at a good quality/runtime point.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_N, BENCH_SEED, save_series
+
+from repro.core.pipeline import SWEstimator
+from repro.experiments.runner import ResultRow
+from repro.metrics.distances import wasserstein_distance
+
+_ORDERS = (0, 2, 4, 6)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(beta_dataset_bench):
+    truth = beta_dataset_bench.histogram(256)
+    rows = []
+    for order in _ORDERS:
+        errors, iterations = [], []
+        for seed in range(3):
+            est = SWEstimator(1.0, 256, smoothing_order=order)
+            out = est.fit(beta_dataset_bench.values, rng=np.random.default_rng(seed))
+            errors.append(wasserstein_distance(truth, out))
+            iterations.append(est.result_.iterations)
+        rows.append(
+            ResultRow(
+                dataset="beta",
+                method=f"ems-order-{order}",
+                epsilon=1.0,
+                metric="w1",
+                mean=float(np.mean(errors)),
+                std=float(np.std(errors)),
+                repeats=3,
+                extra={"mean_iterations": float(np.mean(iterations))},
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize("order", _ORDERS)
+def test_smoothing_order_fit(benchmark, beta_dataset_bench, order):
+    rng = np.random.default_rng(0)
+    est = SWEstimator(1.0, 256, smoothing_order=order)
+    out = benchmark.pedantic(
+        lambda: est.fit(beta_dataset_bench.values, rng=rng), rounds=2, iterations=1
+    )
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_smoothing_ablation_series(benchmark, results_dir, ablation_rows):
+    benchmark.pedantic(lambda: ablation_rows, rounds=1, iterations=1)
+    save_series(rows=ablation_rows, name="ablation_smoothing", results_dir=results_dir,
+                title="Ablation: EMS smoothing kernel order (eps=1, beta)")
+    means = {r.method: r.mean for r in ablation_rows}
+    # The paper's kernel (order 2) beats no smoothing at this noise level.
+    assert means["ems-order-2"] < means["ems-order-0"], means

@@ -1,0 +1,39 @@
+"""Figure 1: normalized frequencies of the four evaluation datasets.
+
+Benchmarks dataset generation + histogram construction, and saves the
+summary statistics that characterize each dataset's shape (mean, variance,
+peak mass, spikiness).
+"""
+
+import pytest
+
+from conftest import BENCH_N, BENCH_SEED, save_series
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.experiments.figures import fig1_dataset_summary
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_fig1_generate_dataset(benchmark, name):
+    """Time dataset synthesis + default-granularity histogram."""
+
+    def build():
+        ds = load_dataset(name, n=BENCH_N, rng=BENCH_SEED)
+        return ds.histogram()
+
+    hist = benchmark(build)
+    assert hist.sum() == pytest.approx(1.0)
+
+
+def test_fig1_series(benchmark, results_dir):
+    """Regenerate the Figure 1 dataset summaries and persist them."""
+    rows = benchmark.pedantic(
+        lambda: fig1_dataset_summary(n=BENCH_N, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    text = save_series(rows, "fig1", results_dir, "Figure 1: dataset summaries")
+    assert "income" in text
+    # The income substitute must be the spikiest dataset (paper Fig 1c).
+    spikiness = {r.dataset: r.mean for r in rows if r.metric == "spikiness"}
+    assert max(spikiness, key=spikiness.get) == "income"

@@ -1,0 +1,69 @@
+"""Figure 4: mean, variance, and quantile MAE.
+
+Adds the dedicated mean estimators (SR, PM) that spend their whole budget on
+one scalar, and checks SW+EMS stays comparable on the mean while also
+providing the full distribution (the paper's Section 6.3 observation).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    BENCH_EPSILONS,
+    BENCH_N,
+    BENCH_REPEATS,
+    BENCH_SEED,
+    save_series,
+)
+
+from repro.experiments.figures import fig4_statistics
+from repro.mean.variance import estimate_mean_unit, estimate_variance_unit
+
+
+@pytest.fixture(scope="module")
+def fig4_rows():
+    return fig4_statistics(
+        epsilons=BENCH_EPSILONS, n=BENCH_N, repeats=BENCH_REPEATS, seed=BENCH_SEED
+    )
+
+
+@pytest.mark.parametrize("mechanism", ("sr", "pm"))
+def test_fig4_mean_protocol(benchmark, beta_dataset_bench, mechanism):
+    """Time one full mean-estimation round."""
+    rng = np.random.default_rng(0)
+    est = benchmark(
+        lambda: estimate_mean_unit(beta_dataset_bench.values, 1.0, mechanism, rng=rng)
+    )
+    assert 0.0 <= est <= 1.0
+
+
+@pytest.mark.parametrize("mechanism", ("sr", "pm"))
+def test_fig4_variance_protocol(benchmark, beta_dataset_bench, mechanism):
+    """Time the two-phase variance protocol."""
+    rng = np.random.default_rng(0)
+    mean_est, var_est = benchmark(
+        lambda: estimate_variance_unit(beta_dataset_bench.values, 1.0, mechanism, rng=rng)
+    )
+    assert 0.0 <= var_est <= 0.25  # unit-domain variance bound
+
+
+def test_fig4_series(benchmark, results_dir, fig4_rows):
+    benchmark.pedantic(lambda: fig4_rows, rounds=1, iterations=1)
+    save_series(rows=fig4_rows, name="fig4", results_dir=results_dir,
+                title="Figure 4: mean / variance / quantile MAE")
+    # Shape claim: SW-EMS mean error is within a small factor of the best
+    # dedicated mean estimator, despite estimating the whole distribution.
+    mean_rows = {}
+    for row in fig4_rows:
+        if row.metric == "mean":
+            mean_rows.setdefault(row.method, []).append(row.mean)
+    means = {m: np.mean(v) for m, v in mean_rows.items()}
+    best_dedicated = min(means["sr"], means["pm"])
+    assert means["sw-ems"] < 5.0 * best_dedicated, means
+    # Quantiles: SW-EMS is the best distribution method on smooth data.
+    quant = {}
+    for row in fig4_rows:
+        if row.metric == "quantile" and row.dataset != "income":
+            quant.setdefault(row.method, []).append(row.mean)
+    qmeans = {m: np.mean(v) for m, v in quant.items()}
+    assert qmeans["sw-ems"] == min(qmeans.values()), qmeans

@@ -1,0 +1,66 @@
+"""Figure 5: comparison of General Wave shapes at eps = 1.
+
+The paper's claim (Theorem 5.3 + Figure 5): the square wave dominates every
+trapezoid/triangle shape in Wasserstein distance, at every bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_N, BENCH_REPEATS, BENCH_SEED, save_series
+
+from repro.core.general_wave import WAVE_SHAPES, GeneralWave
+from repro.core.pipeline import WaveEstimator
+from repro.experiments.figures import fig5_wave_shapes
+
+_B_GRID = (0.1, 0.2, 0.3)
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    from repro.core.waves import ALL_WAVE_SHAPES
+
+    # More repeats than the other benches: the shape separations are a few
+    # tens of percent and need averaging at reduced n. The grid includes the
+    # two smooth shapes this library adds beyond the paper's trapezoids.
+    return fig5_wave_shapes(
+        datasets=("beta",),
+        b_values=_B_GRID,
+        shapes=ALL_WAVE_SHAPES,
+        n=BENCH_N,
+        d=256,
+        repeats=max(BENCH_REPEATS, 8),
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.mark.parametrize("shape", tuple(WAVE_SHAPES))
+def test_fig5_shape_fit(benchmark, beta_dataset_bench, shape):
+    """Time one EMS reconstruction per wave shape (matrix build + EM)."""
+    rng = np.random.default_rng(0)
+
+    def run():
+        estimator = WaveEstimator(
+            GeneralWave(1.0, b=0.2, ratio=WAVE_SHAPES[shape]), 256
+        )
+        return estimator.fit(beta_dataset_bench.values, rng=rng)
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_fig5_series(benchmark, results_dir, fig5_rows):
+    benchmark.pedantic(lambda: fig5_rows, rounds=1, iterations=1)
+    save_series(rows=fig5_rows, name="fig5", results_dir=results_dir,
+                title="Figure 5: wave shapes, W1 vs bandwidth (eps=1)")
+    # Shape claim, robust at reduced n: square must beat the shapes farthest
+    # from it (triangle, trapezoid-0.2) on the grid-averaged W1 and stay
+    # within a small factor of whichever shape happened to sample best.
+    # (The full-scale ordering is recorded in EXPERIMENTS.md.)
+    by_shape = {}
+    for row in fig5_rows:
+        by_shape.setdefault(row.method, []).append(row.mean)
+    means = {s: np.mean(v) for s, v in by_shape.items()}
+    assert means["square"] < means["triangle"], means
+    assert means["square"] < means["trapezoid-0.2"], means
+    assert means["square"] <= 1.2 * min(means.values()), means

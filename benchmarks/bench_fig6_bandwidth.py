@@ -1,0 +1,49 @@
+"""Figure 6: W1 vs bandwidth b for fixed epsilons, with b*(eps) marked.
+
+The paper's claim: the mutual-information choice b* lands at or adjacent to
+the empirical optimum of each curve.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_N, BENCH_REPEATS, BENCH_SEED, save_series
+
+from repro.core.bandwidth import optimal_bandwidth
+from repro.experiments.figures import fig6_bandwidth
+
+_B_GRID = (0.02, 0.08, 0.15, 0.22, 0.3, 0.38)
+_EPSILONS = (1.0, 2.0, 3.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return fig6_bandwidth(
+        epsilons=_EPSILONS,
+        b_values=_B_GRID,
+        n=BENCH_N,
+        d=256,
+        repeats=max(BENCH_REPEATS, 3),
+        seed=BENCH_SEED,
+    )
+
+
+def test_fig6_bandwidth_formula(benchmark):
+    """Time the closed-form b* (trivially fast; the figure's anchor)."""
+    values = benchmark(lambda: [optimal_bandwidth(e) for e in _EPSILONS])
+    np.testing.assert_allclose(values, [0.256, 0.129, 0.064, 0.030], atol=5e-4)
+
+
+def test_fig6_series(benchmark, results_dir, fig6_rows):
+    benchmark.pedantic(lambda: fig6_rows, rounds=1, iterations=1)
+    save_series(rows=fig6_rows, name="fig6", results_dir=results_dir,
+                title="Figure 6: W1 vs bandwidth, b* marked (dataset: beta)")
+    # Shape claim: at every epsilon, b*'s W1 is within 2x of the grid best
+    # (the curve is flat near the optimum; see paper Figure 6).
+    for eps in _EPSILONS:
+        label = f"sw-ems@eps={eps:g}"
+        curve = {r.epsilon: r.mean for r in fig6_rows if r.method == label}
+        star = [r for r in fig6_rows if r.method == label and r.extra.get("is_b_star")]
+        assert star, f"missing b* row for eps={eps}"
+        best = min(curve.values())
+        assert star[0].mean <= 2.0 * best, (eps, star[0].mean, best)

@@ -1,0 +1,61 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every ``bench_figN_*`` module regenerates the data behind one figure of the
+paper at a reduced scale (so the whole suite finishes on a laptop) and
+benchmarks the representative operations. Scale knobs:
+
+* ``REPRO_BENCH_N`` — users per dataset (default 20000)
+* ``REPRO_BENCH_REPEATS`` — trials per grid cell (default 2)
+
+Paper-scale runs of the same code paths are driven by
+``python -m repro.experiments <figure> --paper-n --repeats 100``; see
+EXPERIMENTS.md for recorded results.
+
+Rendered series tables are written to ``results/benchmarks/`` so a bench run
+leaves the regenerated "figures" on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Reduced-scale defaults, overridable from the environment.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+#: Bench granularity: the paper's beta-dataset granularity; benches use it
+#: for all datasets because at reduced n finer grids are statistically
+#: meaningless.
+BENCH_D = 256
+
+#: Privacy grid for bench sweeps (ends + middle of the paper's grid).
+BENCH_EPSILONS = (0.5, 1.0, 2.5)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "benchmarks"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_series(rows, name: str, results_dir: Path, title: str) -> str:
+    """Persist a rendered series table + CSV; return the rendered text."""
+    from repro.experiments.reporting import format_series_table, rows_to_csv
+
+    text = format_series_table(rows, title=title)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    rows_to_csv(rows, results_dir / f"{name}.csv")
+    return text
+
+
+@pytest.fixture(scope="session")
+def beta_dataset_bench():
+    from repro.datasets.registry import load_dataset
+
+    return load_dataset("beta", n=BENCH_N, rng=BENCH_SEED)

@@ -1,0 +1,116 @@
+"""Standalone driver for the EXPERIMENTS.md evaluation runs.
+
+Runs one combined sweep per dataset covering every method and metric (the
+union of Figures 2-4), then the Figure 5/6/7 parameter studies, writing
+text tables and CSVs to ``results/full/``. Scale is controlled below —
+defaults reproduce the shapes of the paper's figures in about an hour on a
+laptop; the paper's own protocol (full n, 100 repeats) is a matter of
+turning the knobs up.
+
+Run:  python benchmarks/run_full_experiments.py [--n 200000] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.experiments.figures import (
+    fig1_dataset_summary,
+    fig5_wave_shapes,
+    fig6_bandwidth,
+    fig7_granularity,
+)
+from repro.experiments.methods import DISTRIBUTION_METRICS, METHOD_REGISTRY
+from repro.experiments.reporting import format_series_table, rows_to_csv
+from repro.experiments.runner import SweepConfig, run_sweep
+
+EPSILONS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def save(rows, name: str, out: Path, title: str) -> None:
+    text = format_series_table(rows, title=title)
+    (out / f"{name}.txt").write_text(text + "\n")
+    rows_to_csv(rows, out / f"{name}.csv")
+    print(text)
+    print(flush=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--n", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="results/full")
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    started = time.perf_counter()
+
+    save(
+        fig1_dataset_summary(n=args.n, seed=args.seed),
+        "fig1",
+        out,
+        "Figure 1: dataset summaries",
+    )
+
+    # Combined Figures 2-4 sweep: all methods x all metrics, one pass.
+    for dataset_name in DATASET_NAMES:
+        t0 = time.perf_counter()
+        dataset = load_dataset(dataset_name, n=args.n, rng=args.seed)
+        config = SweepConfig(
+            dataset=dataset_name,
+            methods=tuple(METHOD_REGISTRY),
+            epsilons=EPSILONS,
+            metrics=DISTRIBUTION_METRICS,
+            repeats=args.repeats,
+            n=args.n,
+            seed=args.seed,
+        )
+        rows = run_sweep(config, dataset=dataset)
+        save(
+            rows,
+            f"fig234_{dataset_name}",
+            out,
+            f"Figures 2-4 panels for dataset '{dataset_name}' "
+            f"(n={args.n}, repeats={args.repeats})",
+        )
+        print(f"[{dataset_name}] finished in {time.perf_counter() - t0:.0f}s", flush=True)
+
+    save(
+        fig5_wave_shapes(
+            datasets=("beta", "taxi"),
+            n=args.n,
+            d=256,
+            repeats=args.repeats,
+            seed=args.seed,
+        ),
+        "fig5",
+        out,
+        "Figure 5: GW wave shapes, W1 vs b (eps=1)",
+    )
+    save(
+        fig6_bandwidth(
+            dataset="beta", n=args.n, d=256, repeats=args.repeats, seed=args.seed
+        ),
+        "fig6",
+        out,
+        "Figure 6: W1 vs b with b* marked (beta)",
+    )
+    save(
+        fig7_granularity(
+            datasets=DATASET_NAMES, n=args.n, repeats=args.repeats, seed=args.seed
+        ),
+        "fig7",
+        out,
+        "Figure 7: W1 across granularities",
+    )
+
+    print(f"\nAll experiment runs finished in {(time.perf_counter() - started) / 60:.1f} min")
+
+
+if __name__ == "__main__":
+    main()

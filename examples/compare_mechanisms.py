@@ -1,0 +1,91 @@
+"""Mechanism tour: every estimator in the library on one dataset, audited.
+
+Walks through the full method zoo the paper evaluates — SW+EMS/EM, HH-ADMM,
+HH, HaarHRR, CFO-with-binning, SR, PM — on the retirement dataset, reports
+each method's metrics, and numerically audits the LDP guarantee of the
+mechanisms' randomizers.
+
+Run:  python examples/compare_mechanisms.py
+"""
+
+import numpy as np
+
+from repro import (
+    CFOBinning,
+    HHADMM,
+    HaarHRR,
+    HierarchicalHistogram,
+    SWEstimator,
+    estimate_mean_unit,
+    ks_distance,
+    range_query_mae,
+    wasserstein_distance,
+)
+from repro.core import DiscreteSquareWave, GeneralWave, SquareWave
+from repro.datasets import retirement_dataset
+from repro.privacy import audit_continuous_mechanism, audit_matrix
+from repro.utils.histograms import histogram_mean
+
+EPSILON = 1.0
+D = 1024
+
+
+def main() -> None:
+    print(f"Dataset: retirement contributions (zero-inflated, right-skewed)")
+    ds = retirement_dataset(n=178_012, rng=5)  # the paper's sample size
+    truth = ds.histogram(D)
+    true_mean = histogram_mean(truth)
+
+    print(f"\n--- Distribution estimators (epsilon = {EPSILON}) ---")
+    print(f"{'method':<14}{'W1':>10}{'KS':>10}{'range MAE':>11}{'|mean err|':>11}")
+    methods = {
+        "sw-ems": SWEstimator(EPSILON, D, postprocess="ems"),
+        "sw-em": SWEstimator(EPSILON, D, postprocess="em"),
+        "hh-admm": HHADMM(EPSILON, D, branching=4),
+        "cfo-32": CFOBinning(EPSILON, D, bins=32),
+    }
+    for i, (name, method) in enumerate(methods.items()):
+        est = method.fit(ds.values, rng=np.random.default_rng(i))
+        print(
+            f"{name:<14}"
+            f"{wasserstein_distance(truth, est):>10.5f}"
+            f"{ks_distance(truth, est):>10.5f}"
+            f"{range_query_mae(truth, est, 0.1, rng=42):>11.5f}"
+            f"{abs(histogram_mean(est) - true_mean):>11.5f}"
+        )
+
+    print("\n--- Range-query-only estimators (signed estimates) ---")
+    print(f"{'method':<14}{'range MAE (alpha=0.1)':>22}")
+    for i, (name, method) in enumerate(
+        {
+            "hh": HierarchicalHistogram(EPSILON, D, branching=4),
+            "haar-hrr": HaarHRR(EPSILON, D),
+        }.items()
+    ):
+        est = method.fit(ds.values, rng=np.random.default_rng(10 + i))
+        print(f"{name:<14}{range_query_mae(truth, est, 0.1, rng=42):>22.5f}")
+
+    print("\n--- Mean-only estimators ---")
+    print(f"{'method':<14}{'|mean err|':>11}   (true mean {true_mean:.5f})")
+    for name in ("sr", "pm"):
+        est = estimate_mean_unit(ds.values, EPSILON, name, rng=np.random.default_rng(20))
+        print(f"{name:<14}{abs(est - true_mean):>11.5f}")
+
+    print("\n--- Numerical LDP audits (max observed probability ratio) ---")
+    sw = SquareWave(EPSILON)
+    gw = GeneralWave(EPSILON, ratio=0.5)
+    dsw = DiscreteSquareWave(EPSILON, 64)
+    for name, result in (
+        ("square wave", audit_continuous_mechanism(sw)),
+        ("trapezoid wave", audit_continuous_mechanism(gw)),
+        ("discrete SW", audit_matrix(dsw.transition_matrix(), EPSILON)),
+    ):
+        status = "OK" if result.satisfied else "VIOLATION"
+        print(
+            f"{name:<16} effective epsilon = {result.effective_epsilon:.6f} "
+            f"(budget {EPSILON}) -> {status}"
+        )
+
+
+if __name__ == "__main__":
+    main()

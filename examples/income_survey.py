@@ -1,0 +1,70 @@
+"""Income survey: spiky data and the EMS vs HH-ADMM trade-off.
+
+Scenario: a statistics agency collects annual incomes under LDP. People
+round their reported incomes ($30,000 rather than $29,850), so the true
+distribution has tall spikes on a smooth body — the paper's income dataset.
+
+This example shows the paper's Section 6.2 finding: SW+EMS wins on
+Wasserstein distance (it recovers the body), while HH-ADMM wins on KS
+distance and quantiles at larger epsilon (it preserves the spikes that EMS
+smooths away).
+
+Run:  python examples/income_survey.py
+"""
+
+import numpy as np
+
+from repro import HHADMM, SWEstimator, ks_distance, wasserstein_distance
+from repro.datasets import INCOME_CAP, income_dataset
+from repro.metrics import quantile_error
+
+
+def dollars(x: float) -> str:
+    return f"${x * INCOME_CAP:,.0f}"
+
+
+def main() -> None:
+    print("Generating the income dataset (log-normal body + round-number spikes)...")
+    ds = income_dataset(n=400_000, rng=11)
+    truth = ds.histogram(1024)
+    print(f"  {ds.n:,} users, spikiest bucket holds {truth.max():.2%} of all mass")
+
+    epsilon = 2.0
+    print(f"\nCollecting under epsilon = {epsilon} ...")
+    sw = SWEstimator(epsilon, d=1024)
+    sw_hist = sw.fit(ds.values, rng=np.random.default_rng(1))
+    admm = HHADMM(epsilon, d=1024, branching=4)
+    admm_hist = admm.fit(ds.values, rng=np.random.default_rng(2))
+
+    print(f"\n{'metric':<24}{'SW+EMS':>12}{'HH-ADMM':>12}")
+    for name, fn in (
+        ("Wasserstein distance", wasserstein_distance),
+        ("KS distance", ks_distance),
+        ("quantile MAE", quantile_error),
+    ):
+        a, b = fn(truth, sw_hist), fn(truth, admm_hist)
+        winner = "  <- SW" if a < b else "  <- ADMM"
+        print(f"{name:<24}{a:>12.5f}{b:>12.5f}{winner}")
+
+    # Inspect a spike: the $30k round-number bucket.
+    spike_bucket = int(30_000 / INCOME_CAP * 1024)
+    print(f"\nMass at the {dollars(spike_bucket / 1024)} spike bucket:")
+    print(f"  truth    {truth[spike_bucket]:.4%}")
+    print(f"  SW+EMS   {sw_hist[spike_bucket]:.4%}   (smoothed down)")
+    print(f"  HH-ADMM  {admm_hist[spike_bucket]:.4%}   (spike preserved)")
+
+    # Decile table from both estimates.
+    print(f"\n{'decile':<10}{'truth':>12}{'SW+EMS':>12}{'HH-ADMM':>12}")
+    cum_t, cum_s, cum_a = map(np.cumsum, (truth, sw_hist, admm_hist))
+    for q in (0.25, 0.5, 0.75, 0.9):
+        pos = lambda c: dollars(np.searchsorted(c, q) / 1024)  # noqa: E731
+        print(f"{q:<10}{pos(cum_t):>12}{pos(cum_s):>12}{pos(cum_a):>12}")
+
+    print(
+        "\nTakeaway: pick SW+EMS for overall distribution shape; pick "
+        "HH-ADMM when point masses (round-number reporting) matter."
+    )
+
+
+if __name__ == "__main__":
+    main()

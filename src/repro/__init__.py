@@ -1,0 +1,108 @@
+"""repro — Estimating Numerical Distributions under Local Differential Privacy.
+
+A faithful, self-contained reproduction of Li et al. (SIGMOD 2020): the
+Square Wave (SW) reporting mechanism with Expectation Maximization with
+Smoothing (EMS) reconstruction, the HH-ADMM hierarchical estimator, and
+every baseline the paper evaluates against (GRR, OLH, HRR, CFO-with-binning,
+HH, HaarHRR, SR, PM).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SWEstimator
+
+    values = np.random.default_rng(0).beta(5, 2, 100_000)   # users' data
+    estimator = SWEstimator(epsilon=1.0, d=256)
+    histogram = estimator.fit(values)                        # LDP estimate
+
+The estimator splits cleanly across trust boundaries: ``privatize`` runs on
+each client, ``aggregate`` on the untrusted server.
+"""
+
+from repro.analysis import (
+    olh_variance,
+    required_population,
+    sw_exact_mutual_information,
+)
+from repro.binning import CFOBinning
+from repro.core.confidence import ConfidenceBands, estimator_confidence_bands
+from repro.core.waves import ALL_WAVE_SHAPES, CosineWave, EpanechnikovWave, make_wave
+from repro.core import (
+    DiscreteSquareWave,
+    DiscreteSWEstimator,
+    GeneralWave,
+    SquareWave,
+    SWEstimator,
+    WaveEstimator,
+    estimate_distribution,
+    optimal_bandwidth,
+)
+from repro.datasets import Dataset, load_dataset
+from repro.freq_oracle import GRR, HRR, OLH, choose_oracle
+from repro.hierarchy import HHADMM, HaarHRR, HierarchicalHistogram
+from repro.mean import (
+    PiecewiseMechanism,
+    StochasticRounding,
+    estimate_mean_unit,
+    estimate_variance_unit,
+)
+from repro.metrics import (
+    ks_distance,
+    mean_error,
+    quantile_error,
+    range_query,
+    range_query_mae,
+    variance_error,
+    wasserstein_distance,
+)
+from repro.multidim import MultiAttributeSW
+from repro.postprocess import norm_sub
+from repro.protocol import SWClient, SWServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SWEstimator",
+    "DiscreteSWEstimator",
+    "WaveEstimator",
+    "SquareWave",
+    "DiscreteSquareWave",
+    "GeneralWave",
+    "optimal_bandwidth",
+    "estimate_distribution",
+    "CFOBinning",
+    "GRR",
+    "OLH",
+    "HRR",
+    "choose_oracle",
+    "HierarchicalHistogram",
+    "HaarHRR",
+    "HHADMM",
+    "StochasticRounding",
+    "PiecewiseMechanism",
+    "estimate_mean_unit",
+    "estimate_variance_unit",
+    "Dataset",
+    "load_dataset",
+    "wasserstein_distance",
+    "ks_distance",
+    "range_query",
+    "range_query_mae",
+    "mean_error",
+    "variance_error",
+    "quantile_error",
+    "norm_sub",
+    "ConfidenceBands",
+    "estimator_confidence_bands",
+    "make_wave",
+    "ALL_WAVE_SHAPES",
+    "CosineWave",
+    "EpanechnikovWave",
+    "MultiAttributeSW",
+    "SWClient",
+    "SWServer",
+    "olh_variance",
+    "required_population",
+    "sw_exact_mutual_information",
+    "__version__",
+]

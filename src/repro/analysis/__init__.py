@@ -1,0 +1,29 @@
+"""Closed-form error analysis and planning helpers."""
+
+from repro.analysis.theory import (
+    grr_variance,
+    hierarchy_level_variance,
+    hrr_variance,
+    olh_variance,
+    oracle_crossover_domain,
+    pm_variance,
+    pm_worst_case_variance,
+    range_query_std,
+    required_population,
+    sr_variance,
+    sw_exact_mutual_information,
+)
+
+__all__ = [
+    "grr_variance",
+    "olh_variance",
+    "hrr_variance",
+    "sr_variance",
+    "pm_variance",
+    "pm_worst_case_variance",
+    "oracle_crossover_domain",
+    "hierarchy_level_variance",
+    "range_query_std",
+    "required_population",
+    "sw_exact_mutual_information",
+]

@@ -1,0 +1,175 @@
+"""Closed-form error theory for the implemented mechanisms.
+
+Collects the published variance formulas the paper's comparisons rest on,
+plus exact (not upper-bounded) mutual information for wave mechanisms.
+Every formula here is validated against simulation in the test suite, so
+the module doubles as executable documentation of Sections 2 and 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_domain_size, check_epsilon, check_probability_vector
+
+__all__ = [
+    "grr_variance",
+    "olh_variance",
+    "hrr_variance",
+    "sr_variance",
+    "pm_variance",
+    "pm_worst_case_variance",
+    "oracle_crossover_domain",
+    "hierarchy_level_variance",
+    "range_query_std",
+    "required_population",
+    "sw_exact_mutual_information",
+]
+
+
+def grr_variance(epsilon: float, d: int) -> float:
+    """Per-user GRR frequency variance, Equation (1): ``(d-2+e^eps)/(e^eps-1)^2``."""
+    epsilon = check_epsilon(epsilon)
+    d = check_domain_size(d)
+    e_eps = math.exp(epsilon)
+    return (d - 2 + e_eps) / (e_eps - 1) ** 2
+
+
+def olh_variance(epsilon: float) -> float:
+    """Per-user OLH frequency variance [34]: ``4 e^eps / (e^eps - 1)^2``."""
+    epsilon = check_epsilon(epsilon)
+    e_eps = math.exp(epsilon)
+    return 4.0 * e_eps / (e_eps - 1) ** 2
+
+
+def hrr_variance(epsilon: float) -> float:
+    """Per-user HRR frequency variance: ``(e^eps + 1)^2 / (e^eps - 1)^2``.
+
+    Local hashing with ``g = 2``; slightly above OLH's optimum but with
+    O(log d) communication and no hash-seed transmission.
+    """
+    epsilon = check_epsilon(epsilon)
+    e_eps = math.exp(epsilon)
+    return (e_eps + 1.0) ** 2 / (e_eps - 1.0) ** 2
+
+
+def sr_variance(epsilon: float, v: float) -> float:
+    """Variance of one debiased SR report for input ``v`` in [-1, 1].
+
+    ``Var = ((e^eps+1)/(e^eps-1))^2 - v^2`` — the report is ±1/(p-q), so
+    the second moment is constant and the variance shrinks with ``|v|``.
+    """
+    epsilon = check_epsilon(epsilon)
+    if not -1.0 <= v <= 1.0:
+        raise ValueError(f"v must be in [-1, 1], got {v}")
+    e_eps = math.exp(epsilon)
+    return ((e_eps + 1.0) / (e_eps - 1.0)) ** 2 - v * v
+
+
+def pm_variance(epsilon: float, v: float) -> float:
+    """Variance of one PM report for input ``v`` in [-1, 1] (from [30]):
+
+    ``Var = v^2/(e^{eps/2}-1) + (e^{eps/2}+3) / (3 (e^{eps/2}-1)^2)``.
+    """
+    epsilon = check_epsilon(epsilon)
+    if not -1.0 <= v <= 1.0:
+        raise ValueError(f"v must be in [-1, 1], got {v}")
+    half = math.exp(epsilon / 2.0)
+    return v * v / (half - 1.0) + (half + 3.0) / (3.0 * (half - 1.0) ** 2)
+
+
+def pm_worst_case_variance(epsilon: float) -> float:
+    """PM variance at ``|v| = 1`` — its maximum over the input domain."""
+    return pm_variance(epsilon, 1.0)
+
+
+def oracle_crossover_domain(epsilon: float) -> int:
+    """Smallest domain size at which OLH beats GRR: ``d - 2 >= 3 e^eps``."""
+    epsilon = check_epsilon(epsilon)
+    return int(math.ceil(3.0 * math.exp(epsilon))) + 2
+
+
+def hierarchy_level_variance(
+    epsilon: float, level_size: int, n_level: int
+) -> float:
+    """Variance of one node estimate at a hierarchy level.
+
+    ``n_level`` users report on a domain of ``level_size`` nodes with the
+    adaptive GRR/OLH oracle and the whole budget (population splitting).
+    """
+    if n_level <= 0:
+        raise ValueError(f"n_level must be > 0, got {n_level}")
+    if level_size >= oracle_crossover_domain(epsilon):
+        per_user = olh_variance(epsilon)
+    else:
+        per_user = grr_variance(epsilon, level_size)
+    return per_user / n_level
+
+
+def range_query_std(
+    epsilon: float, d: int, n: int, branching: int = 4, range_fraction: float = 0.1
+) -> float:
+    """Predicted standard deviation of an HH range-query answer.
+
+    A range of ``range_fraction`` of the domain decomposes into at most
+    ``2 (branching - 1)`` nodes per level; each level holds ``n / h`` users.
+    This is the back-of-envelope the paper's Section 4.2 design discussion
+    uses, handy for choosing ``d`` and ``branching`` before deploying.
+    """
+    if not 0 < range_fraction <= 1:
+        raise ValueError("range_fraction must be in (0, 1]")
+    d = check_domain_size(d)
+    height = round(math.log(d, branching))
+    if branching**height != d:
+        raise ValueError(f"d={d} is not a power of branching={branching}")
+    n_level = max(n // height, 1)
+    variance = 0.0
+    for level in range(1, height + 1):
+        nodes_used = min(2 * (branching - 1), branching**level)
+        variance += nodes_used * hierarchy_level_variance(
+            epsilon, branching**level, n_level
+        )
+    return math.sqrt(variance)
+
+
+def required_population(
+    epsilon: float, target_std: float, d: int | None = None
+) -> int:
+    """Users needed for a target per-frequency standard deviation.
+
+    Uses the better of GRR/OLH at the given domain size (OLH's
+    domain-independent variance when ``d`` is omitted).
+    """
+    check_epsilon(epsilon)
+    if target_std <= 0:
+        raise ValueError(f"target_std must be > 0, got {target_std}")
+    if d is None:
+        per_user = olh_variance(epsilon)
+    else:
+        per_user = min(olh_variance(epsilon), grr_variance(epsilon, d))
+    return math.ceil(per_user / target_std**2)
+
+
+def sw_exact_mutual_information(
+    transition_matrix: np.ndarray, input_distribution: np.ndarray
+) -> float:
+    """Exact mutual information ``I(V; V~)`` of a bucketized wave mechanism.
+
+    Unlike :func:`repro.core.bandwidth.mutual_information_bound` (which
+    assumes a uniform output to stay distribution-free), this computes the
+    true value for a *given* input distribution:
+
+    ``I = sum_i x_i sum_j M[j,i] log(M[j,i] / (M x)_j)`` (in nats).
+    """
+    m = np.asarray(transition_matrix, dtype=np.float64)
+    x = check_probability_vector(input_distribution, name="input_distribution")
+    if m.ndim != 2 or m.shape[1] != x.size:
+        raise ValueError(
+            f"matrix shape {m.shape} incompatible with distribution size {x.size}"
+        )
+    marginal = m @ x
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_ratio = np.where(m > 0, np.log(m / marginal[:, None]), 0.0)
+    return float(np.sum(x[None, :] * m * log_ratio))

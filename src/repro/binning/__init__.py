@@ -1,0 +1,5 @@
+"""CFO-with-binning baseline (paper Section 4.1)."""
+
+from repro.binning.cfo_binning import CFOBinning, spread_uniformly
+
+__all__ = ["CFOBinning", "spread_uniformly"]

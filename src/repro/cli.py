@@ -1,0 +1,166 @@
+"""Command-line interface for the library.
+
+Subcommands mirror the deployment workflow:
+
+* ``privatize`` — randomize a file of private values into a JSONL report
+  file (the client side; run it where the data lives);
+* ``aggregate`` — reconstruct the distribution from a report file (the
+  server side);
+* ``estimate`` — both halves at once, for simulations;
+* ``audit`` — numerically verify a mechanism's LDP guarantee;
+* ``plan`` — back-of-envelope population sizing for a target accuracy.
+
+Examples::
+
+    python -m repro privatize --epsilon 1.0 --round-id r1 \
+        --input values.txt --output reports.jsonl --seed 7
+    python -m repro aggregate --epsilon 1.0 --round-id r1 --d 256 \
+        --input reports.jsonl --output histogram.csv
+    python -m repro estimate --epsilon 1.0 --d 256 --method sw-ems \
+        --input values.txt --output histogram.csv
+    python -m repro audit --shape square --epsilon 1.0
+    python -m repro plan --epsilon 1.0 --target-std 0.002
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import io
+from repro.analysis.theory import olh_variance, required_population
+from repro.core.waves import ALL_WAVE_SHAPES, make_wave
+from repro.privacy.audit import audit_continuous_mechanism
+
+__all__ = ["main"]
+
+
+def _cmd_privatize(args) -> int:
+    from repro.protocol.client import SWClient
+
+    values = io.read_values(args.input)
+    client = SWClient(args.round_id, epsilon=args.epsilon, b=args.b)
+    payload = client.report_batch(values, rng=np.random.default_rng(args.seed))
+    with open(args.output, "w") as handle:
+        handle.write(payload + "\n")
+    print(f"wrote {values.size} reports to {args.output}")
+    return 0
+
+
+def _cmd_aggregate(args) -> int:
+    from repro.protocol.server import SWServer
+
+    server = SWServer(
+        args.round_id, epsilon=args.epsilon, d=args.d, b=args.b,
+        postprocess=args.postprocess,
+    )
+    with open(args.input) as handle:
+        count = server.ingest_batch(handle.read())
+    histogram = server.estimate()
+    io.write_histogram_csv(histogram, args.output)
+    print(
+        f"aggregated {count} reports; EMS/EM ran "
+        f"{server.result_.iterations} iterations; wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.experiments.methods import make_method
+
+    values = io.read_values(args.input)
+    method = make_method(args.method, args.epsilon, args.d)
+    histogram = method.fit(values, rng=np.random.default_rng(args.seed))
+    io.write_histogram_csv(histogram, args.output)
+    print(f"estimated {args.d}-bucket histogram with {args.method}; wrote {args.output}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    mechanism = make_wave(args.shape, args.epsilon, b=args.b)
+    result = audit_continuous_mechanism(mechanism)
+    status = "OK" if result.satisfied else "VIOLATION"
+    print(
+        f"shape={args.shape} epsilon={args.epsilon}: max probability ratio "
+        f"{result.max_ratio:.6f} (effective epsilon {result.effective_epsilon:.6f}) "
+        f"-> {status}"
+    )
+    return 0 if result.satisfied else 1
+
+
+def _cmd_plan(args) -> int:
+    n = required_population(args.epsilon, args.target_std, d=args.d)
+    print(
+        f"target per-frequency std {args.target_std} at epsilon={args.epsilon} "
+        f"needs ~{n:,} users (per-user variance {olh_variance(args.epsilon):.3f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Numerical distribution estimation under local differential privacy",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("privatize", help="randomize values into LDP reports")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--b", type=float, default=None)
+    p.add_argument("--round-id", required=True)
+    p.add_argument("--input", required=True, help="one value in [0,1] per line")
+    p.add_argument("--output", required=True, help="JSONL report file")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(fn=_cmd_privatize)
+
+    p = sub.add_parser("aggregate", help="reconstruct a distribution from reports")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--b", type=float, default=None)
+    p.add_argument("--round-id", required=True)
+    p.add_argument("--d", type=int, default=1024)
+    p.add_argument("--postprocess", choices=("ems", "em"), default="ems")
+    p.add_argument("--input", required=True, help="JSONL report file")
+    p.add_argument("--output", required=True, help="histogram CSV")
+    p.set_defaults(fn=_cmd_aggregate)
+
+    p = sub.add_parser("estimate", help="privatize + aggregate in one step")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--d", type=int, default=1024)
+    p.add_argument(
+        "--method",
+        default="sw-ems",
+        help="sw-ems, sw-em, hh-admm, cfo-16/32/64, hh, haar-hrr",
+    )
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("audit", help="numerically audit a wave mechanism's LDP")
+    p.add_argument("--shape", choices=ALL_WAVE_SHAPES, default="square")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--b", type=float, default=None)
+    p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser("plan", help="population sizing for a target accuracy")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--target-std", type=float, required=True)
+    p.add_argument("--d", type=int, default=None)
+    p.set_defaults(fn=_cmd_plan)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""General Wave mechanisms (paper Sections 5.1 and 6.4).
+
+A General Wave (GW) mechanism reports ``v~ = v + Z`` where the density of
+the report is a *wave* ``W(v~ - v)``: baseline ``q`` outside ``[-b, b]`` and
+between ``q`` and ``e^eps q`` inside. This module implements the trapezoid
+family the paper evaluates in Figure 5, parameterized by the top/bottom
+length ratio ``r``:
+
+* ``r = 1`` — square wave (the optimum, Theorem 5.3);
+* ``0 < r < 1`` — trapezoids with plateau half-width ``r*b``;
+* ``r = 0`` — triangle wave.
+
+All shapes peak at ``e^eps q`` (otherwise contrast would be wasted) so
+
+    q = 1 / (1 + 2b + (e^eps - 1) * b * (1 + r)).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.bandwidth import optimal_bandwidth
+from repro.core.transform import quadrature_transition_matrix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_domain_size, check_epsilon, check_unit_values
+
+__all__ = ["GeneralWave", "WAVE_SHAPES"]
+
+#: Shape label -> trapezoid ratio, matching the paper's Figure 5 legend.
+WAVE_SHAPES: dict[str, float] = {
+    "square": 1.0,
+    "trapezoid-0.8": 0.8,
+    "trapezoid-0.6": 0.6,
+    "trapezoid-0.4": 0.4,
+    "trapezoid-0.2": 0.2,
+    "triangle": 0.0,
+}
+
+
+class GeneralWave:
+    """Trapezoid-family General Wave randomizer on ``[0, 1] -> [-b, 1 + b]``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    b:
+        Wave half-width, defaults to the SW optimum ``b*(epsilon)``.
+    ratio:
+        Plateau/base length ratio in ``[0, 1]``; see module docstring.
+    """
+
+    def __init__(
+        self, epsilon: float, b: float | None = None, ratio: float = 1.0
+    ) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        if b is None:
+            b = optimal_bandwidth(self.epsilon)
+        if not 0.0 < b <= 0.5:
+            raise ValueError(f"b must be in (0, 0.5], got {b}")
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+        self.b = float(b)
+        self.ratio = float(ratio)
+        e_eps = math.exp(self.epsilon)
+        self.q = 1.0 / (1.0 + 2.0 * self.b + (e_eps - 1.0) * self.b * (1.0 + self.ratio))
+        self.peak = e_eps * self.q
+        #: Height of the bump above the baseline.
+        self.bump_height = self.peak - self.q
+        #: Plateau half-width and leg length of the bump.
+        self.plateau = self.ratio * self.b
+        self.leg = self.b - self.plateau
+
+    @property
+    def name(self) -> str:
+        for label, ratio in WAVE_SHAPES.items():
+            if abs(ratio - self.ratio) < 1e-12:
+                return label
+        return f"trapezoid-{self.ratio:g}"
+
+    @property
+    def output_low(self) -> float:
+        return -self.b
+
+    @property
+    def output_high(self) -> float:
+        return 1.0 + self.b
+
+    @property
+    def bump_mass(self) -> float:
+        """Total probability mass of the bump: ``1 - (2b + 1) q``."""
+        return self.bump_height * self.b * (1.0 + self.ratio)
+
+    def bump_density(self, z: np.ndarray) -> np.ndarray:
+        """Wave density minus baseline, as a function of offset ``z``."""
+        z = np.abs(np.asarray(z, dtype=np.float64))
+        if self.leg == 0.0:
+            return np.where(z <= self.b, self.bump_height, 0.0)
+        on_plateau = z <= self.plateau
+        on_leg = (z > self.plateau) & (z <= self.b)
+        leg_value = self.bump_height * (self.b - z) / self.leg
+        return np.where(on_plateau, self.bump_height, np.where(on_leg, leg_value, 0.0))
+
+    def bump_cdf(self, z: np.ndarray) -> np.ndarray:
+        """CDF of the bump from ``-b``; reaches :attr:`bump_mass` at ``+b``."""
+        z = np.asarray(z, dtype=np.float64)
+        height = self.bump_height
+        if self.leg == 0.0:
+            return height * np.clip(z + self.b, 0.0, 2.0 * self.b)
+        leg_mass = height * self.leg / 2.0
+        # Left leg: quadratic ramp-up on [-b, -plateau].
+        left_progress = np.clip(z + self.b, 0.0, self.leg)
+        left = height * left_progress**2 / (2.0 * self.leg)
+        # Plateau: linear on [-plateau, plateau].
+        mid = height * np.clip(z + self.plateau, 0.0, 2.0 * self.plateau)
+        # Right leg: total minus the symmetric ramp from the right end.
+        right_progress = np.clip(self.b - z, 0.0, self.leg)
+        right = leg_mass - height * right_progress**2 / (2.0 * self.leg)
+        return np.where(
+            z < -self.plateau,
+            left,
+            np.where(z <= self.plateau, leg_mass + mid, leg_mass + 2 * self.plateau * height + right),
+        )
+
+    def pdf(self, v: float, v_tilde: np.ndarray) -> np.ndarray:
+        """Output density ``M_v(v~)`` (0 outside ``[-b, 1 + b]``)."""
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"v must be in [0, 1], got {v}")
+        out = np.asarray(v_tilde, dtype=np.float64)
+        inside = (out >= self.output_low) & (out <= self.output_high)
+        return np.where(inside, self.q + self.bump_density(out - v), 0.0)
+
+    def _sample_bump_offsets(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        """Draw offsets ``Z`` from the normalized bump shape."""
+        if count == 0:
+            return np.empty(0)
+        if self.leg == 0.0:
+            return gen.uniform(-self.b, self.b, size=count)
+        plateau_fraction = 2.0 * self.ratio / (1.0 + self.ratio)
+        u = gen.random(count)
+        on_plateau = u < plateau_fraction
+        offsets = np.empty(count, dtype=np.float64)
+        k = int(on_plateau.sum())
+        offsets[on_plateau] = gen.uniform(-self.plateau, self.plateau, size=k)
+        # Legs: density decreasing linearly to 0 at distance `leg` from the
+        # plateau edge; inverse-CDF sample of that distance is
+        # `leg * (1 - sqrt(u))`.
+        rest = count - k
+        side = np.where(gen.random(rest) < 0.5, -1.0, 1.0)
+        distance = self.leg * (1.0 - np.sqrt(gen.random(rest)))
+        offsets[~on_plateau] = side * (self.plateau + distance)
+        return offsets
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Randomize values into float reports in ``[-b, 1 + b]``.
+
+        Mixture sampler: with probability ``q (1 + 2b)`` report uniformly on
+        the whole output domain (the baseline), otherwise report ``v + Z``
+        with ``Z`` from the bump shape.
+        """
+        vals = check_unit_values(values)
+        gen = as_generator(rng)
+        n = vals.size
+        baseline_mass = self.q * (1.0 + 2.0 * self.b)
+        baseline = gen.random(n) < baseline_mass
+        out = np.empty(n, dtype=np.float64)
+        k = int(baseline.sum())
+        out[baseline] = gen.uniform(self.output_low, self.output_high, size=k)
+        bump_values = vals[~baseline]
+        out[~baseline] = bump_values + self._sample_bump_offsets(bump_values.size, gen)
+        return out
+
+    def bucketize_reports(self, reports: np.ndarray, d_out: int) -> np.ndarray:
+        """Histogram counts of reports over ``d_out`` output buckets."""
+        d_out = check_domain_size(d_out)
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("reports must be a non-empty 1-d array")
+        span = self.output_high - self.output_low
+        idx = np.floor((arr - self.output_low) / span * d_out).astype(np.int64)
+        idx = np.clip(idx, 0, d_out - 1)
+        return np.bincount(idx, minlength=d_out).astype(np.float64)
+
+    def transition_matrix(self, d: int, d_out: int | None = None) -> np.ndarray:
+        """Bucket transition matrix via Gauss-Legendre quadrature.
+
+        The square-wave special case (``ratio == 1``) routes through the
+        exact closed-form integral instead of quadrature.
+        """
+        d = check_domain_size(d)
+        d_out = d if d_out is None else check_domain_size(d_out)
+        if self.ratio == 1.0:
+            from repro.core.transform import sw_transition_matrix
+
+            return sw_transition_matrix((self.peak, self.q), self.b, d, d_out)
+        return quadrature_transition_matrix(self.bump_cdf, self.q, self.b, d, d_out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GeneralWave(epsilon={self.epsilon}, b={self.b:.4f}, "
+            f"ratio={self.ratio})"
+        )

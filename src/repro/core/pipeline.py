@@ -1,0 +1,249 @@
+"""High-level estimators: the public entry point for SW + EM/EMS.
+
+``SWEstimator`` wires the full paper pipeline together: Square Wave
+randomization on the client, report bucketization on the server, and EM or
+EMS reconstruction. ``WaveEstimator`` accepts any wave mechanism (used by the
+Figure 5 wave-shape study), and ``DiscreteSWEstimator`` is the
+"bucketize before randomize" variant from Section 5.4.
+
+Typical usage::
+
+    est = SWEstimator(epsilon=1.0, d=256)
+    histogram = est.fit(values)          # simulate all users + aggregate
+
+    # Or split across trust boundaries:
+    reports = est.privatize(values)      # client side
+    histogram = est.aggregate(reports)   # server side
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.em import DEFAULT_MAX_ITER, EMResult, expectation_maximization
+from repro.core.general_wave import GeneralWave
+from repro.core.smoothing import binomial_kernel
+from repro.core.square_wave import DiscreteSquareWave, SquareWave
+from repro.utils.validation import check_domain_size
+
+__all__ = ["WaveEstimator", "SWEstimator", "DiscreteSWEstimator", "estimate_distribution"]
+
+_POSTPROCESS_CHOICES = ("ems", "em")
+
+
+def _default_tolerance(postprocess: str, epsilon: float) -> float:
+    """Paper Section 6.1: ``1e-3 * e^eps`` for EM, fixed ``1e-3`` for EMS."""
+    if postprocess == "em":
+        return 1e-3 * math.exp(epsilon)
+    return 1e-3
+
+
+class WaveEstimator:
+    """Distribution estimator around any continuous wave mechanism.
+
+    Parameters
+    ----------
+    mechanism:
+        A :class:`~repro.core.square_wave.SquareWave` or
+        :class:`~repro.core.general_wave.GeneralWave` instance.
+    d:
+        Granularity of the reconstructed input histogram.
+    d_out:
+        Report bucket count; defaults to ``d`` (the paper's choice, close to
+        the ``sqrt(N)`` guideline for its datasets).
+    postprocess:
+        ``"ems"`` (default) or ``"em"``.
+    tol, max_iter, smoothing_order:
+        EM/EMS controls; ``tol=None`` selects the paper default for the
+        chosen post-processing.
+
+    After :meth:`fit` or :meth:`aggregate`, the EM diagnostics are available
+    as :attr:`result_`.
+    """
+
+    def __init__(
+        self,
+        mechanism,
+        d: int = 1024,
+        *,
+        d_out: int | None = None,
+        postprocess: str = "ems",
+        tol: float | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+        smoothing_order: int = 2,
+    ) -> None:
+        if postprocess not in _POSTPROCESS_CHOICES:
+            raise ValueError(
+                f"postprocess must be one of {_POSTPROCESS_CHOICES}, got {postprocess!r}"
+            )
+        self.mechanism = mechanism
+        self.d = check_domain_size(d)
+        self.d_out = self.d if d_out is None else check_domain_size(d_out)
+        self.postprocess = postprocess
+        self.tol = _default_tolerance(postprocess, mechanism.epsilon) if tol is None else float(tol)
+        self.max_iter = int(max_iter)
+        self.smoothing_order = int(smoothing_order)
+        self._matrix: np.ndarray | None = None
+        self.result_: EMResult | None = None
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """The ``(d_out, d)`` matrix, built lazily and cached per estimator."""
+        if self._matrix is None:
+            self._matrix = self.mechanism.transition_matrix(self.d, self.d_out)
+        return self._matrix
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Client-side: randomize raw values in ``[0, 1]`` into reports."""
+        return self.mechanism.privatize(values, rng=rng)
+
+    def aggregate(self, reports: np.ndarray) -> np.ndarray:
+        """Server-side: bucketize reports and reconstruct the histogram."""
+        counts = self.mechanism.bucketize_reports(reports, self.d_out)
+        return self.aggregate_counts(counts)
+
+    def aggregate_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Reconstruct from an already-bucketized report histogram."""
+        kernel = (
+            binomial_kernel(self.smoothing_order) if self.postprocess == "ems" else None
+        )
+        self.result_ = expectation_maximization(
+            self.transition_matrix,
+            counts,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            smoothing_kernel=kernel,
+        )
+        return self.result_.estimate
+
+    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Simulate the whole collection round and return the histogram."""
+        return self.aggregate(self.privatize(values, rng=rng))
+
+
+class SWEstimator(WaveEstimator):
+    """Square Wave + EM/EMS — the paper's headline method.
+
+    ``b`` defaults to the mutual-information optimum ``b*(epsilon)``.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        d: int = 1024,
+        *,
+        b: float | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(SquareWave(epsilon, b=b), d, **kwargs)
+
+
+class DiscreteSWEstimator:
+    """Discrete SW + EM/EMS — "bucketize before randomize" (Section 5.4).
+
+    Users bucketize their value into ``{0..d-1}`` first; randomization happens
+    on the discrete domain. Interface mirrors :class:`WaveEstimator` except
+    reports are integers.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        d: int = 1024,
+        *,
+        b: int | None = None,
+        postprocess: str = "ems",
+        tol: float | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+        smoothing_order: int = 2,
+    ) -> None:
+        if postprocess not in _POSTPROCESS_CHOICES:
+            raise ValueError(
+                f"postprocess must be one of {_POSTPROCESS_CHOICES}, got {postprocess!r}"
+            )
+        self.mechanism = DiscreteSquareWave(epsilon, d, b=b)
+        self.d = self.mechanism.d
+        self.postprocess = postprocess
+        self.tol = _default_tolerance(postprocess, self.mechanism.epsilon) if tol is None else float(tol)
+        self.max_iter = int(max_iter)
+        self.smoothing_order = int(smoothing_order)
+        self._matrix: np.ndarray | None = None
+        self.result_: EMResult | None = None
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = self.mechanism.transition_matrix()
+        return self._matrix
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Client-side: bucketize unit values, then discrete-SW randomize."""
+        from repro.utils.histograms import bucketize
+
+        buckets = bucketize(values, self.d)
+        return self.mechanism.privatize(buckets, rng=rng)
+
+    def aggregate(self, reports: np.ndarray) -> np.ndarray:
+        counts = self.mechanism.bucketize_reports(reports)
+        kernel = (
+            binomial_kernel(self.smoothing_order) if self.postprocess == "ems" else None
+        )
+        self.result_ = expectation_maximization(
+            self.transition_matrix,
+            counts,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            smoothing_kernel=kernel,
+        )
+        return self.result_.estimate
+
+    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
+        return self.aggregate(self.privatize(values, rng=rng))
+
+
+def estimate_distribution(
+    values: np.ndarray,
+    epsilon: float,
+    d: int = 1024,
+    *,
+    method: str = "sw-ems",
+    rng=None,
+    **kwargs,
+) -> np.ndarray:
+    """One-call distribution estimation.
+
+    Parameters
+    ----------
+    values:
+        Private values in ``[0, 1]`` (one per user).
+    epsilon:
+        Privacy budget.
+    d:
+        Histogram granularity.
+    method:
+        ``"sw-ems"`` (paper default), ``"sw-em"``, or ``"sw-discrete-ems"``.
+    kwargs:
+        Forwarded to the underlying estimator.
+    """
+    if method == "sw-ems":
+        estimator = SWEstimator(epsilon, d, postprocess="ems", **kwargs)
+    elif method == "sw-em":
+        estimator = SWEstimator(epsilon, d, postprocess="em", **kwargs)
+    elif method == "sw-discrete-ems":
+        estimator = DiscreteSWEstimator(epsilon, d, postprocess="ems", **kwargs)
+    else:
+        raise ValueError(
+            "method must be 'sw-ems', 'sw-em', or 'sw-discrete-ems', "
+            f"got {method!r}"
+        )
+    return estimator.fit(values, rng=rng)

@@ -1,0 +1,149 @@
+"""Exact transition matrices for wave mechanisms (paper Section 5.5).
+
+The server-side estimator needs ``M[j, i] = Pr[out in B~_j | in in B_i]``,
+assuming the input is uniform within its bucket. For Square Wave the overlap
+between an output bucket and the moving high-probability band
+``[v - b, v + b]`` is a *trapezoid function* of ``v``, so the bucket average
+has a closed-form antiderivative and the matrix is exact to float precision.
+General-wave matrices use Gauss-Legendre quadrature over the input bucket
+(the integrand is piecewise quadratic, so a handful of nodes is plenty).
+
+Matrix convention: shape ``(d_out, d)``; every column sums to 1 (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "trapezoid_antiderivative",
+    "sw_transition_matrix",
+    "discrete_sw_transition_matrix",
+    "quadrature_transition_matrix",
+]
+
+#: Input buckets processed per block when building matrices, bounding peak
+#: memory at ``d_out * _BLOCK`` floats per temporary.
+_BLOCK = 256
+
+
+def trapezoid_antiderivative(
+    t: np.ndarray, t1: np.ndarray, t3: np.ndarray, lmax: np.ndarray
+) -> np.ndarray:
+    """Antiderivative of the unit-slope trapezoid function.
+
+    The trapezoid rises with slope 1 from ``t1`` to ``t1 + lmax``, stays at
+    ``lmax`` until ``t3``, and falls with slope -1 to zero at ``t3 + lmax``.
+    Broadcasts over all arguments.
+    """
+    rise_progress = np.clip(t - t1, 0.0, lmax)
+    rise = 0.5 * rise_progress**2
+    mid = lmax * np.clip(t - (t1 + lmax), 0.0, t3 - (t1 + lmax))
+    fall_progress = np.clip(t - t3, 0.0, lmax)
+    fall = lmax * fall_progress - 0.5 * fall_progress**2
+    return rise + mid + fall
+
+
+def sw_transition_matrix(
+    epsilon_density_pair: tuple[float, float],
+    b: float,
+    d: int,
+    d_out: int,
+) -> np.ndarray:
+    """Exact continuous Square Wave transition matrix.
+
+    Parameters
+    ----------
+    epsilon_density_pair:
+        ``(p, q)`` — the near/far densities of the mechanism.
+    b:
+        Wave half-width; the output domain is ``[-b, 1 + b]``.
+    d, d_out:
+        Input and output bucket counts.
+    """
+    p, q = epsilon_density_pair
+    if b <= 0:
+        raise ValueError(f"b must be > 0, got {b}")
+    if d < 1 or d_out < 1:
+        raise ValueError("d and d_out must be >= 1")
+    out_width = (1.0 + 2.0 * b) / d_out
+    # Output bucket edges in the input coordinate system.
+    c = -b + np.arange(d_out) * out_width  # left edges
+    e = c + out_width  # right edges
+    lmax = np.minimum(e - c, 2.0 * b)
+    t1 = c - b  # overlap starts growing
+    t3 = np.maximum(e - b, c + b)  # overlap starts shrinking
+    matrix = np.empty((d_out, d), dtype=np.float64)
+    in_width = 1.0 / d
+    for start in range(0, d, _BLOCK):
+        stop = min(start + _BLOCK, d)
+        a1 = np.arange(start, stop) * in_width  # (block,)
+        a2 = a1 + in_width
+        upper = trapezoid_antiderivative(a2[None, :], t1[:, None], t3[:, None], lmax[:, None])
+        lower = trapezoid_antiderivative(a1[None, :], t1[:, None], t3[:, None], lmax[:, None])
+        avg_overlap = (upper - lower) / in_width
+        matrix[:, start:stop] = q * out_width + (p - q) * avg_overlap
+    return matrix
+
+
+def discrete_sw_transition_matrix(p: float, q: float, b: int, d: int) -> np.ndarray:
+    """Discrete Square Wave matrix of shape ``(d + 2b, d)``.
+
+    Output index ``j`` corresponds to input position ``j - b``; entry is
+    ``p`` when ``|j - b - i| <= b`` and ``q`` otherwise.
+    """
+    if b < 0:
+        raise ValueError(f"b must be >= 0, got {b}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    j = np.arange(d + 2 * b)[:, None]
+    i = np.arange(d)[None, :]
+    return np.where(np.abs(j - b - i) <= b, p, q).astype(np.float64)
+
+
+def quadrature_transition_matrix(
+    band_cdf,
+    baseline_density: float,
+    b: float,
+    d: int,
+    d_out: int,
+    nodes: int = 8,
+) -> np.ndarray:
+    """Transition matrix for an arbitrary wave shape via quadrature.
+
+    Parameters
+    ----------
+    band_cdf:
+        Vectorized CDF of the *bump* (wave density minus the ``q`` baseline)
+        as a function of the offset ``z = v~ - v``; must be 0 at ``-b`` and
+        equal the total bump mass at ``+b``.
+    baseline_density:
+        The far density ``q``.
+    b, d, d_out:
+        Half-width and bucket counts; output domain ``[-b, 1 + b]``.
+    nodes:
+        Gauss-Legendre nodes per input bucket. The integrand is piecewise
+        quadratic so 8 nodes give ~1e-9 accuracy; columns are renormalized
+        to sum to exactly 1 afterwards.
+    """
+    if nodes < 2:
+        raise ValueError(f"nodes must be >= 2, got {nodes}")
+    out_width = (1.0 + 2.0 * b) / d_out
+    c = -b + np.arange(d_out) * out_width
+    e = c + out_width
+    gl_x, gl_w = np.polynomial.legendre.leggauss(nodes)
+    gl_w = gl_w / 2.0  # weights for averaging over a unit-length bucket
+    matrix = np.empty((d_out, d), dtype=np.float64)
+    in_width = 1.0 / d
+    for start in range(0, d, _BLOCK):
+        stop = min(start + _BLOCK, d)
+        mids = (np.arange(start, stop) + 0.5) * in_width
+        # Quadrature nodes for each input bucket in the block: (block, nodes)
+        v = mids[:, None] + 0.5 * in_width * gl_x[None, :]
+        # Bump mass inside each output bucket, averaged over the input bucket.
+        upper = band_cdf(e[:, None, None] - v[None, :, :])
+        lower = band_cdf(c[:, None, None] - v[None, :, :])
+        bump = ((upper - lower) * gl_w[None, None, :]).sum(axis=2)
+        matrix[:, start:stop] = baseline_density * out_width + bump
+    matrix /= matrix.sum(axis=0, keepdims=True)
+    return matrix

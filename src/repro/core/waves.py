@@ -1,0 +1,187 @@
+"""Additional General Wave shapes beyond the trapezoid family.
+
+The paper's Definition 5.1 admits *any* wave function ``W: R -> [q, e^eps q]``
+with baseline ``q`` outside ``[-b, b]``; its Figure 5 evaluates trapezoids
+and a triangle. This module adds two smooth shapes — a raised-cosine wave
+and an Epanechnikov (parabolic) wave — extending the shape study, plus a
+``make_wave`` factory covering the whole family by name.
+
+Both smooth shapes peak at ``e^eps q`` (anything lower wastes contrast) and
+derive ``q`` from the normalization ``bump_mass = 1 - (2b + 1) q``:
+
+* raised cosine: ``bump(z) = H (1 + cos(pi z / b)) / 2``, mass ``H b``;
+* Epanechnikov:  ``bump(z) = H (1 - (z/b)^2)``, mass ``4 H b / 3``;
+
+with ``H = (e^eps - 1) q`` in both cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.bandwidth import optimal_bandwidth
+from repro.core.general_wave import WAVE_SHAPES, GeneralWave
+from repro.core.transform import quadrature_transition_matrix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_domain_size, check_epsilon, check_unit_values
+
+__all__ = ["SmoothWave", "CosineWave", "EpanechnikovWave", "make_wave", "ALL_WAVE_SHAPES"]
+
+
+class SmoothWave:
+    """Shared plumbing for smooth (rejection-sampled) wave shapes.
+
+    Subclasses define the normalized bump profile ``_profile(z)`` in
+    ``[0, 1]`` (1 at the peak), its integral over ``[-b, b]`` as a multiple
+    of ``b`` (``_profile_mass_factor``), and the profile CDF.
+    """
+
+    #: Integral of the normalized profile over [-b, b], divided by b.
+    _profile_mass_factor: float = float("nan")
+
+    def __init__(self, epsilon: float, b: float | None = None) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        if b is None:
+            b = optimal_bandwidth(self.epsilon)
+        if not 0.0 < b <= 0.5:
+            raise ValueError(f"b must be in (0, 0.5], got {b}")
+        self.b = float(b)
+        e_eps = math.exp(self.epsilon)
+        mass_factor = self._profile_mass_factor * self.b
+        self.q = 1.0 / (1.0 + 2.0 * self.b + (e_eps - 1.0) * mass_factor)
+        self.peak = e_eps * self.q
+        self.bump_height = self.peak - self.q
+
+    # -- shape definition (subclass responsibility) -------------------------
+
+    def _profile(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _profile_cdf(self, z: np.ndarray) -> np.ndarray:
+        """Integral of the profile from ``-b`` to ``z`` (in units of length)."""
+        raise NotImplementedError
+
+    # -- common interface (matches GeneralWave) ------------------------------
+
+    @property
+    def output_low(self) -> float:
+        return -self.b
+
+    @property
+    def output_high(self) -> float:
+        return 1.0 + self.b
+
+    @property
+    def bump_mass(self) -> float:
+        return self.bump_height * self._profile_mass_factor * self.b
+
+    def bump_density(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        inside = np.abs(z) <= self.b
+        return np.where(inside, self.bump_height * self._profile(z), 0.0)
+
+    def bump_cdf(self, z: np.ndarray) -> np.ndarray:
+        z = np.clip(np.asarray(z, dtype=np.float64), -self.b, self.b)
+        return self.bump_height * self._profile_cdf(z)
+
+    def pdf(self, v: float, v_tilde: np.ndarray) -> np.ndarray:
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"v must be in [0, 1], got {v}")
+        out = np.asarray(v_tilde, dtype=np.float64)
+        inside = (out >= self.output_low) & (out <= self.output_high)
+        return np.where(inside, self.q + self.bump_density(out - v), 0.0)
+
+    def _sample_bump_offsets(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        """Rejection sampling against the uniform envelope on [-b, b]."""
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            need = count - filled
+            # Acceptance rate is mass_factor / 2, so oversample accordingly.
+            batch = max(int(need * 2.2 / self._profile_mass_factor), 64)
+            z = gen.uniform(-self.b, self.b, size=batch)
+            keep = z[gen.random(batch) < self._profile(z)]
+            take = min(keep.size, need)
+            out[filled : filled + take] = keep[:take]
+            filled += take
+        return out
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Randomize values into float reports in ``[-b, 1 + b]``."""
+        vals = check_unit_values(values)
+        gen = as_generator(rng)
+        n = vals.size
+        baseline_mass = self.q * (1.0 + 2.0 * self.b)
+        baseline = gen.random(n) < baseline_mass
+        out = np.empty(n, dtype=np.float64)
+        k = int(baseline.sum())
+        out[baseline] = gen.uniform(self.output_low, self.output_high, size=k)
+        bump_values = vals[~baseline]
+        out[~baseline] = bump_values + self._sample_bump_offsets(bump_values.size, gen)
+        return out
+
+    def bucketize_reports(self, reports: np.ndarray, d_out: int) -> np.ndarray:
+        d_out = check_domain_size(d_out)
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("reports must be a non-empty 1-d array")
+        span = self.output_high - self.output_low
+        idx = np.floor((arr - self.output_low) / span * d_out).astype(np.int64)
+        idx = np.clip(idx, 0, d_out - 1)
+        return np.bincount(idx, minlength=d_out).astype(np.float64)
+
+    def transition_matrix(self, d: int, d_out: int | None = None) -> np.ndarray:
+        d = check_domain_size(d)
+        d_out = d if d_out is None else check_domain_size(d_out)
+        return quadrature_transition_matrix(self.bump_cdf, self.q, self.b, d, d_out)
+
+
+class CosineWave(SmoothWave):
+    """Raised-cosine wave: ``bump(z) = H (1 + cos(pi z / b)) / 2``."""
+
+    name = "cosine"
+    _profile_mass_factor = 1.0  # integral of (1+cos)/2 over [-b, b] is b
+
+    def _profile(self, z: np.ndarray) -> np.ndarray:
+        return (1.0 + np.cos(np.pi * z / self.b)) / 2.0
+
+    def _profile_cdf(self, z: np.ndarray) -> np.ndarray:
+        return 0.5 * (z + self.b) + (self.b / (2.0 * np.pi)) * np.sin(np.pi * z / self.b)
+
+
+class EpanechnikovWave(SmoothWave):
+    """Parabolic wave: ``bump(z) = H (1 - (z/b)^2)``."""
+
+    name = "epanechnikov"
+    _profile_mass_factor = 4.0 / 3.0
+
+    def _profile(self, z: np.ndarray) -> np.ndarray:
+        return 1.0 - (z / self.b) ** 2
+
+    def _profile_cdf(self, z: np.ndarray) -> np.ndarray:
+        return (z + self.b) - (z**3 + self.b**3) / (3.0 * self.b**2)
+
+
+#: Every named wave shape the library can build, including the paper's
+#: trapezoid family and the two smooth extensions.
+ALL_WAVE_SHAPES: tuple[str, ...] = tuple(WAVE_SHAPES) + ("cosine", "epanechnikov")
+
+
+def make_wave(shape: str, epsilon: float, b: float | None = None):
+    """Build a wave mechanism by shape name.
+
+    ``shape`` is one of :data:`ALL_WAVE_SHAPES`; trapezoid-family names map
+    to :class:`~repro.core.general_wave.GeneralWave`, the smooth names to
+    their dedicated classes. All returned objects share the wave-mechanism
+    interface (``privatize`` / ``pdf`` / ``transition_matrix`` / ...), so
+    they drop into :class:`~repro.core.pipeline.WaveEstimator` directly.
+    """
+    if shape in WAVE_SHAPES:
+        return GeneralWave(epsilon, b=b, ratio=WAVE_SHAPES[shape])
+    if shape == "cosine":
+        return CosineWave(epsilon, b=b)
+    if shape == "epanechnikov":
+        return EpanechnikovWave(epsilon, b=b)
+    raise ValueError(f"unknown wave shape {shape!r}; available: {ALL_WAVE_SHAPES}")

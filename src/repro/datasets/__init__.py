@@ -1,0 +1,40 @@
+"""Evaluation datasets (paper Section 6.1).
+
+One synthetic dataset (Beta(5,2), identical to the paper) and three seeded
+generators substituting for the paper's real datasets — taxi pickup times,
+ACS incomes, SF retirement contributions. See DESIGN.md Section 4 for the
+substitution rationale.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.income import INCOME_CAP, INCOME_N, income_dataset
+from repro.datasets.registry import DATASET_NAMES, PAPER_SIZES, load_dataset
+from repro.datasets.retirement import RETIREMENT_CAP, RETIREMENT_N, retirement_dataset
+from repro.datasets.synthetic import (
+    BETA_N,
+    beta_dataset,
+    spiky_mixture,
+    truncated_lognormal,
+    truncated_normal,
+)
+from repro.datasets.taxi import TAXI_N, taxi_dataset
+
+__all__ = [
+    "Dataset",
+    "DATASET_NAMES",
+    "PAPER_SIZES",
+    "load_dataset",
+    "beta_dataset",
+    "taxi_dataset",
+    "income_dataset",
+    "retirement_dataset",
+    "truncated_normal",
+    "truncated_lognormal",
+    "spiky_mixture",
+    "BETA_N",
+    "TAXI_N",
+    "INCOME_N",
+    "INCOME_CAP",
+    "RETIREMENT_N",
+    "RETIREMENT_CAP",
+]

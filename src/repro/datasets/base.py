@@ -1,0 +1,77 @@
+"""Dataset container shared by the generators and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.histograms import bucketize, normalize_counts
+from repro.utils.validation import check_domain_size, check_unit_values
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named collection of private values normalized to ``[0, 1]``.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"beta"`` or ``"income"``.
+    values:
+        1-d float array of user values in ``[0, 1]``.
+    default_bins:
+        Histogram granularity the paper uses for this dataset (256 for
+        Beta(5,2), 1024 for the three real-data substitutes).
+    description:
+        One-line provenance note, including what real data the generator
+        substitutes for.
+    """
+
+    name: str
+    values: np.ndarray
+    default_bins: int
+    description: str = ""
+    _histogram_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", check_unit_values(self.values, name="values"))
+        check_domain_size(self.default_bins, name="default_bins")
+
+    @property
+    def n(self) -> int:
+        """Number of users."""
+        return int(self.values.size)
+
+    def histogram(self, d: int | None = None) -> np.ndarray:
+        """True normalized histogram over ``d`` buckets (default granularity).
+
+        Cached per granularity because metrics re-use it across every method
+        and privacy level in a sweep.
+        """
+        bins = self.default_bins if d is None else check_domain_size(d)
+        cached = self._histogram_cache.get(bins)
+        if cached is None:
+            counts = np.bincount(bucketize(self.values, bins), minlength=bins)
+            cached = normalize_counts(counts.astype(np.float64))
+            self._histogram_cache[bins] = cached
+        return cached
+
+    def subsample(self, n: int, rng=None) -> "Dataset":
+        """A new dataset of ``n`` values sampled without replacement."""
+        from repro.utils.rng import as_generator
+
+        if not 0 < n <= self.n:
+            raise ValueError(f"n must be in [1, {self.n}], got {n}")
+        gen = as_generator(rng)
+        picked = gen.choice(self.values, size=n, replace=False)
+        return Dataset(
+            name=self.name,
+            values=picked,
+            default_bins=self.default_bins,
+            description=f"{self.description} (subsample n={n})",
+        )

@@ -1,0 +1,83 @@
+"""Income dataset substitute (the paper's *spiky* workload).
+
+The paper uses 2017 American Community Survey incomes below 2^19 = 524288,
+mapped to ``[0, 1]``. The property its evaluation leans on is *spikiness*:
+respondents report round numbers, so large point masses sit at multiples of
+$1000/$5000/$10000 on top of a right-skewed body. HH-ADMM preserves those
+spikes while EMS smooths them — the paper's KS-distance and quantile
+discussions hinge on exactly this structure, so the substitute reproduces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import spiky_mixture, truncated_lognormal
+from repro.utils.rng import as_generator
+
+__all__ = ["income_dataset"]
+
+#: Sample size of the paper's income dataset after preprocessing.
+INCOME_N = 2_308_374
+
+#: Upper bound used by the paper (incomes below 2^19 dollars).
+INCOME_CAP = 524_288.0
+
+#: Share of users who round their report to a "nice" number. Chosen so the
+#: resulting histogram (1024 bins) shows spikes 5-20x the local body density,
+#: matching the visual structure of the paper's Figure 1(c).
+_SPIKE_FRACTION = 0.45
+
+
+def _round_number_spikes() -> tuple[np.ndarray, np.ndarray]:
+    """Spike positions (dollars) and relative weights.
+
+    Round-number attraction decays with income and is stronger for coarser
+    round numbers ($10000 > $5000 > $1000).
+    """
+    positions: list[float] = []
+    weights: list[float] = []
+    for dollars in range(1000, int(INCOME_CAP), 1000):
+        if dollars % 10_000 == 0:
+            strength = 6.0
+        elif dollars % 5_000 == 0:
+            strength = 2.5
+        else:
+            strength = 1.0
+        # Popularity of an income level decays roughly log-normally; use a
+        # smooth envelope centered near $35k.
+        envelope = np.exp(-0.5 * ((np.log(dollars) - np.log(35_000)) / 0.9) ** 2)
+        positions.append(float(dollars))
+        weights.append(strength * envelope)
+    return np.asarray(positions), np.asarray(weights)
+
+
+def income_dataset(n: int = INCOME_N, rng=None) -> Dataset:
+    """Generate the spiky income substitute on ``[0, 1]``.
+
+    The body is a truncated log-normal (median ~$32k, long right tail below
+    the 2^19 cap); ``_SPIKE_FRACTION`` of users snap to round-number spikes.
+    Reconstructed at 1024 buckets in the paper.
+    """
+    gen = as_generator(rng)
+    n = int(n)
+    body = truncated_lognormal(n, mu=np.log(32_000.0), sigma=0.85, high=INCOME_CAP, rng=gen)
+    positions, weights = _round_number_spikes()
+    dollars = spiky_mixture(
+        n,
+        body=body,
+        spike_positions=positions,
+        spike_weights=weights,
+        spike_fraction=_SPIKE_FRACTION,
+        rng=gen,
+    )
+    return Dataset(
+        name="income",
+        values=dollars / INCOME_CAP,
+        default_bins=1024,
+        description=(
+            "Substitute for 2017 ACS incomes < 2^19: log-normal body with "
+            "round-number point-mass spikes (spiky workload)"
+        ),
+    )

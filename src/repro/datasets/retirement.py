@@ -1,0 +1,59 @@
+"""Retirement-contribution dataset substitute.
+
+The paper extracts non-negative San Francisco employee retirement
+contributions below $60000 and maps them to ``[0, 1]``. The shape that
+matters for its experiments: a very large spike at (or just above) zero —
+employees with no retirement plan contributions — followed by a right-skewed
+body that decays toward the cap. The substitute composes a zero-inflation
+component with a gamma body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.utils.rng import as_generator
+
+__all__ = ["retirement_dataset"]
+
+#: Sample size of the paper's retirement dataset after preprocessing.
+RETIREMENT_N = 178_012
+
+#: Upper cap used by the paper (values in [0, 60000)).
+RETIREMENT_CAP = 60_000.0
+
+#: Share of employees with (near-)zero contributions; drives the spike at 0
+#: visible in the paper's Figure 1(d).
+_ZERO_FRACTION = 0.18
+
+
+def retirement_dataset(n: int = RETIREMENT_N, rng=None) -> Dataset:
+    """Generate the retirement substitute on ``[0, 1]``.
+
+    Reconstructed at 1024 buckets in the paper.
+    """
+    gen = as_generator(rng)
+    n = int(n)
+    values = np.empty(n, dtype=np.float64)
+    is_zero = gen.random(n) < _ZERO_FRACTION
+    k = int(is_zero.sum())
+    # Near-zero contributions: tiny amounts below $500.
+    values[is_zero] = gen.uniform(0.0, 500.0, size=k)
+    body_count = n - k
+    body = gen.gamma(shape=2.2, scale=7_500.0, size=body_count)
+    # Reject-above-cap by resampling the overflow; the tail mass is small.
+    over = body >= RETIREMENT_CAP
+    while over.any():
+        body[over] = gen.gamma(shape=2.2, scale=7_500.0, size=int(over.sum()))
+        over = body >= RETIREMENT_CAP
+    values[~is_zero] = body
+    return Dataset(
+        name="retirement",
+        values=values / RETIREMENT_CAP,
+        default_bins=1024,
+        description=(
+            "Substitute for SF employee retirement contributions in "
+            "[0, 60000): zero-inflated gamma body with long right tail"
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Experiment harness: method registry, sweep runner, per-figure configs."""
+
+from repro.experiments.methods import (
+    DISTRIBUTION_METRICS,
+    METHOD_REGISTRY,
+    MethodSpec,
+    make_method,
+)
+from repro.experiments.reporting import format_series_table, group_rows, rows_to_csv
+from repro.experiments.runner import ResultRow, SweepConfig, evaluate_histogram, run_sweep
+
+__all__ = [
+    "METHOD_REGISTRY",
+    "MethodSpec",
+    "make_method",
+    "DISTRIBUTION_METRICS",
+    "SweepConfig",
+    "ResultRow",
+    "run_sweep",
+    "evaluate_histogram",
+    "format_series_table",
+    "rows_to_csv",
+    "group_rows",
+]

@@ -1,0 +1,83 @@
+"""Rendering and persistence of experiment results.
+
+The paper presents log-scale line plots; without a plotting dependency we
+regenerate the same content as aligned text tables (one row per method,
+one column per epsilon) and CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.experiments.runner import ResultRow
+
+__all__ = ["format_series_table", "rows_to_csv", "group_rows"]
+
+
+def group_rows(
+    rows: Iterable[ResultRow],
+) -> dict[tuple[str, str], dict[tuple[str, float], ResultRow]]:
+    """Index rows as ``(dataset, metric) -> (method, epsilon) -> row``."""
+    grouped: dict[tuple[str, str], dict[tuple[str, float], ResultRow]] = {}
+    for row in rows:
+        grouped.setdefault((row.dataset, row.metric), {})[(row.method, row.epsilon)] = row
+    return grouped
+
+
+def format_series_table(
+    rows: Sequence[ResultRow],
+    title: str | None = None,
+    precision: int = 5,
+) -> str:
+    """Render rows as paper-style series tables.
+
+    One table per (dataset, metric): methods as rows, epsilons as columns,
+    cells showing the mean over repeats. This is the textual equivalent of
+    one figure panel.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for (dataset, metric), cells in sorted(group_rows(rows).items()):
+        epsilons = sorted({eps for (_, eps) in cells})
+        methods = sorted({m for (m, _) in cells})
+        lines.append(f"\n[{dataset}] metric={metric}")
+        header = "method".ljust(16) + "".join(f"eps={e:<10g}" for e in epsilons)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for method in methods:
+            parts = [method.ljust(16)]
+            for eps in epsilons:
+                row = cells.get((method, eps))
+                parts.append(
+                    f"{row.mean:<14.{precision}f}" if row is not None else " " * 14
+                )
+            lines.append("".join(parts))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[ResultRow], path: str | Path) -> Path:
+    """Write rows to CSV (one line per grid cell x metric) and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["dataset", "method", "epsilon", "metric", "mean", "std", "repeats"]
+        )
+        for row in rows:
+            writer.writerow(
+                [
+                    row.dataset,
+                    row.method,
+                    row.epsilon,
+                    row.metric,
+                    f"{row.mean:.8g}",
+                    f"{row.std:.8g}",
+                    row.repeats,
+                ]
+            )
+    return path

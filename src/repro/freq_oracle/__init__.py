@@ -1,0 +1,24 @@
+"""Categorical frequency oracles — the CFO substrate (paper Sections 2, 4).
+
+GRR and OLH are the workhorses; HRR backs the Haar hierarchy; ``choose_oracle``
+picks between GRR and OLH by variance at a given domain size.
+"""
+
+from repro.freq_oracle.adaptive import best_oracle_name, choose_oracle
+from repro.freq_oracle.base import FrequencyOracle
+from repro.freq_oracle.grr import GRR
+from repro.freq_oracle.hrr import HRR, HRRReports, fwht, next_power_of_two
+from repro.freq_oracle.olh import OLH, OLHReports
+
+__all__ = [
+    "FrequencyOracle",
+    "GRR",
+    "OLH",
+    "OLHReports",
+    "HRR",
+    "HRRReports",
+    "fwht",
+    "next_power_of_two",
+    "choose_oracle",
+    "best_oracle_name",
+]

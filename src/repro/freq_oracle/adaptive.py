@@ -1,0 +1,31 @@
+"""Variance-based choice between GRR and OLH (paper Section 2.1).
+
+GRR's per-user variance is ``(d - 2 + e^eps) / (e^eps - 1)^2`` and OLH's is
+``4 e^eps / (e^eps - 1)^2``, so GRR wins exactly when ``d - 2 < 3 e^eps``.
+Hierarchical methods and CFO-binning call this at every (sub)domain size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.freq_oracle.base import FrequencyOracle
+from repro.freq_oracle.grr import GRR
+from repro.freq_oracle.olh import OLH
+from repro.utils.validation import check_domain_size, check_epsilon
+
+__all__ = ["choose_oracle", "best_oracle_name"]
+
+
+def best_oracle_name(epsilon: float, d: int) -> str:
+    """``"grr"`` when GRR has lower variance than OLH, else ``"olh"``."""
+    epsilon = check_epsilon(epsilon)
+    d = check_domain_size(d)
+    return "grr" if d - 2 < 3.0 * math.exp(epsilon) else "olh"
+
+
+def choose_oracle(epsilon: float, d: int) -> FrequencyOracle:
+    """Instantiate the lower-variance oracle for this ``(epsilon, d)``."""
+    if best_oracle_name(epsilon, d) == "grr":
+        return GRR(epsilon, d)
+    return OLH(epsilon, d)

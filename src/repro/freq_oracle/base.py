@@ -1,0 +1,81 @@
+"""Common interface for categorical frequency oracles (paper Section 2.1).
+
+A frequency oracle (FO) runs in two halves:
+
+* client side — ``privatize`` maps each user's value in ``{0..d-1}`` to a
+  randomized report satisfying epsilon-LDP;
+* server side — ``aggregate`` turns the collected reports into *unbiased*
+  frequency estimates (which may be negative; constraint restoration is a
+  separate post-processing step).
+
+``estimate_from_values`` chains both halves, which is what simulations use.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.utils.validation import check_domain_size, check_epsilon
+
+__all__ = ["FrequencyOracle"]
+
+
+class FrequencyOracle(abc.ABC):
+    """Abstract base class for categorical frequency oracles."""
+
+    #: Short protocol name used by registries and reports.
+    name: str = "fo"
+
+    #: Smallest usable domain size. HRR overrides this to 1: the top Haar
+    #: layer has a single coefficient and degenerates to binary randomized
+    #: response over its sign.
+    min_domain: int = 2
+
+    def __init__(self, epsilon: float, d: int) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.d = check_domain_size(d, minimum=self.min_domain)
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"values must be a non-empty 1-d array, got shape {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(np.equal(np.mod(arr, 1), 0)):
+                raise ValueError("values must be integers in {0..d-1}")
+            arr = arr.astype(np.int64)
+        else:
+            arr = arr.astype(np.int64)
+        if arr.min() < 0 or arr.max() >= self.d:
+            raise ValueError(
+                f"values must be in [0, {self.d - 1}], got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    @abc.abstractmethod
+    def privatize(self, values: np.ndarray, rng=None) -> Any:
+        """Randomize a vector of private values into LDP reports."""
+
+    @abc.abstractmethod
+    def aggregate(self, reports: Any) -> np.ndarray:
+        """Unbiased frequency estimates (length ``d``) from reports."""
+
+    @property
+    @abc.abstractmethod
+    def estimate_variance(self) -> float:
+        """Per-frequency estimator variance for a *single* user report.
+
+        Divide by the number of users ``n`` to get the variance of the
+        aggregated estimate; this is the quantity compared when choosing
+        between GRR and OLH.
+        """
+
+    def estimate_from_values(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Privatize then aggregate — one full simulated collection round."""
+        return self.aggregate(self.privatize(values, rng=rng))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(epsilon={self.epsilon}, d={self.d})"

@@ -1,0 +1,61 @@
+"""Generalized Randomized Response (paper Section 2.1).
+
+The user reports their true value with probability
+``p = e^eps / (e^eps + d - 1)`` and any other value uniformly otherwise.
+Estimation variance grows linearly with ``d`` (Equation 1), so GRR is only
+competitive on small domains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.freq_oracle.base import FrequencyOracle
+from repro.utils.rng import as_generator
+
+__all__ = ["GRR"]
+
+
+class GRR(FrequencyOracle):
+    """Generalized Randomized Response frequency oracle."""
+
+    name = "grr"
+
+    def __init__(self, epsilon: float, d: int) -> None:
+        super().__init__(epsilon, d)
+        e_eps = math.exp(self.epsilon)
+        self.p = e_eps / (e_eps + self.d - 1)
+        self.q = 1.0 / (e_eps + self.d - 1)
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Report the true value w.p. ``p``, else a uniform *other* value.
+
+        The "other" draw uses the shift trick ``(v + r) mod d`` with
+        ``r ~ Uniform{1..d-1}``, which is exactly uniform over the d-1
+        non-true values and fully vectorized.
+        """
+        vals = self._check_values(values)
+        gen = as_generator(rng)
+        n = vals.size
+        keep = gen.random(n) < self.p
+        shift = gen.integers(1, self.d, size=n)
+        reports = np.where(keep, vals, (vals + shift) % self.d)
+        return reports.astype(np.int64)
+
+    def aggregate(self, reports: np.ndarray) -> np.ndarray:
+        """Unbiased frequencies: ``((C(v)/n) - q) / (p - q)``."""
+        arr = np.asarray(reports, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("reports must be a non-empty 1-d array")
+        if arr.min() < 0 or arr.max() >= self.d:
+            raise ValueError("reports outside the output domain")
+        counts = np.bincount(arr, minlength=self.d).astype(np.float64)
+        return (counts / arr.size - self.q) / (self.p - self.q)
+
+    @property
+    def estimate_variance(self) -> float:
+        """Equation (1): ``(d - 2 + e^eps) / (e^eps - 1)^2`` per user."""
+        e_eps = math.exp(self.epsilon)
+        return (self.d - 2 + e_eps) / (e_eps - 1) ** 2

@@ -1,0 +1,44 @@
+"""Universal hash family used by Optimized Local Hashing.
+
+OLH needs, per user, a uniformly chosen hash function mapping the value
+domain ``{0..d-1}`` into ``{0..g-1}``. We use the classic Carter-Wegman
+construction ``((a*v + b) mod P) mod g`` with a Mersenne prime ``P``; drawing
+``(a, b)`` per user gives a pairwise-independent family, which is all OLH's
+analysis requires, and it evaluates as two vectorized integer ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["PRIME", "sample_hash_params", "evaluate_hash"]
+
+#: Mersenne prime 2^31 - 1. With d <= 2^20 and a < P the products stay well
+#: inside int64, so the modular arithmetic below never overflows.
+PRIME: int = 2**31 - 1
+
+
+def sample_hash_params(n: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Draw per-user hash coefficients ``a in [1, P)`` and ``b in [0, P)``."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    gen = as_generator(rng)
+    a = gen.integers(1, PRIME, size=n, dtype=np.int64)
+    b = gen.integers(0, PRIME, size=n, dtype=np.int64)
+    return a, b
+
+
+def evaluate_hash(
+    a: np.ndarray, b: np.ndarray, values: np.ndarray, g: int
+) -> np.ndarray:
+    """Evaluate ``h_{a,b}(v) = ((a*v + b) mod P) mod g`` elementwise.
+
+    Broadcasting rules apply: pass ``a[:, None]`` and a row of candidate
+    values to evaluate every user's hash on the whole domain at once.
+    """
+    if g < 2:
+        raise ValueError(f"g must be >= 2, got {g}")
+    av = np.asarray(a, dtype=np.int64) * np.asarray(values, dtype=np.int64)
+    return ((av + np.asarray(b, dtype=np.int64)) % PRIME) % g

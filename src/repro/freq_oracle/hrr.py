@@ -1,0 +1,142 @@
+"""Hadamard Randomized Response (paper Section 4.2, following Kulkarni [18]).
+
+Local hashing with ``g = 2`` where the hash family is the rows of a
+Sylvester-ordered Hadamard matrix: user ``u`` with value ``k`` picks a random
+row ``j``, computes the bit ``H[j, k] in {-1, +1}``, flips it with
+probability ``1/(e^eps + 1)``, and reports ``(j, bit)``. The aggregator
+recovers unbiased Hadamard-spectrum coefficients groupwise and inverts with a
+fast Walsh-Hadamard transform.
+
+Reports may carry a *sign*: HaarHRR users contribute ``-1`` or ``+1`` times a
+one-hot vector, and the same estimator recovers the signed frequency vector.
+That generalization is why this module, not the Haar code, owns the HRR
+protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.freq_oracle.base import FrequencyOracle
+from repro.utils.rng import as_generator
+
+__all__ = ["HRR", "HRRReports", "fwht", "next_power_of_two"]
+
+
+def next_power_of_two(d: int) -> int:
+    """Smallest power of two >= ``d`` (>= 1)."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return 1 << (int(d) - 1).bit_length()
+
+
+def fwht(vec: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh-Hadamard transform (Sylvester ordering).
+
+    Returns ``H @ vec`` for the un-normalized +-1 Hadamard matrix; applying
+    it twice multiplies by ``len(vec)``. Length must be a power of two.
+    """
+    arr = np.asarray(vec, dtype=np.float64).copy()
+    m = arr.size
+    if m == 0 or m & (m - 1):
+        raise ValueError(f"length must be a power of two, got {m}")
+    h = 1
+    while h < m:
+        blocks = arr.reshape(-1, 2 * h)
+        left = blocks[:, :h].copy()
+        right = blocks[:, h:].copy()
+        blocks[:, :h] = left + right
+        blocks[:, h:] = left - right
+        h *= 2
+    return arr
+
+
+@dataclass(frozen=True)
+class HRRReports:
+    """Collected HRR reports: Hadamard row index and perturbed bit."""
+
+    row: np.ndarray
+    bit: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.row.shape != self.bit.shape or self.row.ndim != 1:
+            raise ValueError("row and bit must be equal-length 1-d arrays")
+
+    @property
+    def n(self) -> int:
+        return int(self.row.size)
+
+
+class HRR(FrequencyOracle):
+    """Hadamard Randomized Response oracle over ``{0..d-1}``.
+
+    The domain is padded to the next power of two ``m`` internally;
+    aggregation truncates back to ``d``.
+    """
+
+    name = "hrr"
+    min_domain = 1
+
+    def __init__(self, epsilon: float, d: int) -> None:
+        super().__init__(epsilon, d)
+        self.m = next_power_of_two(self.d)
+        e_eps = math.exp(self.epsilon)
+        self.p = e_eps / (e_eps + 1.0)
+
+    def _hadamard_bits(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """``H[row, col] = (-1)^popcount(row & col)`` elementwise."""
+        parity = np.bitwise_count(np.bitwise_and(rows, cols)) & 1
+        return 1 - 2 * parity.astype(np.int64)
+
+    def privatize(self, values: np.ndarray, rng=None, signs=None) -> HRRReports:
+        """Randomize values (optionally signed) into (row, bit) reports.
+
+        Parameters
+        ----------
+        values:
+            Integer values in ``{0..d-1}``.
+        signs:
+            Optional array of ``-1``/``+1`` multipliers (HaarHRR layers).
+        """
+        vals = self._check_values(values)
+        gen = as_generator(rng)
+        n = vals.size
+        if signs is None:
+            sign_arr = np.ones(n, dtype=np.int64)
+        else:
+            sign_arr = np.asarray(signs, dtype=np.int64)
+            if sign_arr.shape != vals.shape:
+                raise ValueError("signs must match values in shape")
+            if not np.isin(sign_arr, (-1, 1)).all():
+                raise ValueError("signs must be -1 or +1")
+        rows = gen.integers(0, self.m, size=n, dtype=np.int64)
+        true_bits = self._hadamard_bits(rows, vals) * sign_arr
+        flip = gen.random(n) >= self.p
+        bits = np.where(flip, -true_bits, true_bits)
+        return HRRReports(row=rows, bit=bits.astype(np.int64))
+
+    def aggregate(self, reports: HRRReports) -> np.ndarray:
+        """Unbiased signed-frequency estimates of length ``d``.
+
+        Per-row sums give unbiased Hadamard coefficients
+        ``theta_j = m * S_j / (n * (2p - 1))``; the inverse transform
+        ``f = H theta / m`` is computed with the FWHT.
+        """
+        n = reports.n
+        if n == 0:
+            raise ValueError("no reports to aggregate")
+        if reports.row.min() < 0 or reports.row.max() >= self.m:
+            raise ValueError("report rows outside the Hadamard order")
+        sums = np.bincount(reports.row, weights=reports.bit, minlength=self.m)
+        theta = self.m * sums / (n * (2.0 * self.p - 1.0))
+        freqs = fwht(theta) / self.m
+        return freqs[: self.d]
+
+    @property
+    def estimate_variance(self) -> float:
+        """Approximate per-user variance ``(e^eps + 1)^2 / (e^eps - 1)^2``."""
+        e_eps = math.exp(self.epsilon)
+        return (e_eps + 1.0) ** 2 / (e_eps - 1.0) ** 2

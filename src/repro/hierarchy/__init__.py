@@ -1,0 +1,25 @@
+"""Hierarchy-based estimators: HH, HaarHRR, and HH-ADMM (paper §4.2-4.3)."""
+
+from repro.hierarchy.admm import ADMMDiagnostics, HHADMM, admm_postprocess
+from repro.hierarchy.constrained import NullspaceProjector, consistency_projection
+from repro.hierarchy.haar import HaarHRR
+from repro.hierarchy.hh import (
+    HierarchicalHistogram,
+    collect_tree_estimates,
+    collect_tree_estimates_budget_split,
+)
+from repro.hierarchy.tree import TreeLayout, range_decomposition
+
+__all__ = [
+    "TreeLayout",
+    "range_decomposition",
+    "NullspaceProjector",
+    "consistency_projection",
+    "HierarchicalHistogram",
+    "collect_tree_estimates",
+    "collect_tree_estimates_budget_split",
+    "HaarHRR",
+    "HHADMM",
+    "ADMMDiagnostics",
+    "admm_postprocess",
+]

@@ -1,0 +1,148 @@
+"""Beta-ary tree layout over a discrete ordered domain (paper Section 4.2).
+
+The domain ``{0..d-1}`` forms the leaves of a complete ``branching``-ary tree
+(``d`` must be an exact power of the branching factor). Levels are indexed
+*root-first*: level 0 is the root (1 node), level ``k`` has ``branching^k``
+nodes, level ``height`` is the leaves. The paper's bottom-up "layer ell"
+numbering maps to ``level = height - ell + 1``.
+
+Node estimates for the whole tree are stored as one concatenated vector,
+root first — the layout HH-ADMM's ``x`` uses — with per-level slices
+available through :meth:`TreeLayout.level_slice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["TreeLayout", "range_decomposition"]
+
+
+@dataclass(frozen=True)
+class TreeLayout:
+    """Index arithmetic for a complete beta-ary tree over ``d`` leaves."""
+
+    d: int
+    branching: int
+
+    def __post_init__(self) -> None:
+        if self.branching < 2:
+            raise ValueError(f"branching must be >= 2, got {self.branching}")
+        if self.d < self.branching:
+            raise ValueError(f"d must be >= branching, got d={self.d}")
+        size, height = 1, 0
+        while size < self.d:
+            size *= self.branching
+            height += 1
+        if size != self.d:
+            raise ValueError(
+                f"d={self.d} is not a power of branching={self.branching}"
+            )
+        object.__setattr__(self, "_height", height)
+
+    @property
+    def height(self) -> int:
+        """Number of edges from root to leaves (= number of non-root levels)."""
+        return self._height
+
+    @property
+    def level_sizes(self) -> tuple[int, ...]:
+        """Node counts per level, root first: ``(1, beta, ..., d)``."""
+        return tuple(self.branching**k for k in range(self.height + 1))
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.level_sizes)
+
+    @property
+    def reporting_levels(self) -> tuple[int, ...]:
+        """Levels users may report (all but the trivially-known root)."""
+        return tuple(range(1, self.height + 1))
+
+    def level_offset(self, level: int) -> int:
+        """Start of ``level``'s slice in the concatenated node vector."""
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level must be in [0, {self.height}], got {level}")
+        return sum(self.level_sizes[:level])
+
+    def level_slice(self, level: int) -> slice:
+        start = self.level_offset(level)
+        return slice(start, start + self.level_sizes[level])
+
+    def ancestor(self, leaf: np.ndarray, level: int) -> np.ndarray:
+        """Index of each leaf's ancestor node at ``level`` (vectorized)."""
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level must be in [0, {self.height}], got {level}")
+        shift = self.branching ** (self.height - level)
+        return np.asarray(leaf, dtype=np.int64) // shift
+
+    def children(self, level: int, index: int) -> list[tuple[int, int]]:
+        """Child node coordinates of node ``(level, index)``."""
+        if level >= self.height:
+            raise ValueError("leaves have no children")
+        base = index * self.branching
+        return [(level + 1, base + t) for t in range(self.branching)]
+
+    def leaf_span(self, level: int, index: int) -> tuple[int, int]:
+        """Half-open leaf range ``[lo, hi)`` covered by node ``(level, index)``."""
+        width = self.branching ** (self.height - level)
+        return index * width, (index + 1) * width
+
+    def constraint_matrix(self) -> sparse.csr_matrix:
+        """Sparse ``A`` with one row per internal node: node minus its children.
+
+        ``A @ x = 0`` states every internal estimate equals the sum of its
+        children — the hierarchical consistency constraint of HH and
+        HH-ADMM.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        row = 0
+        for level in range(self.height):
+            offset = self.level_offset(level)
+            child_offset = self.level_offset(level + 1)
+            for index in range(self.level_sizes[level]):
+                rows.append(row)
+                cols.append(offset + index)
+                vals.append(1.0)
+                base = child_offset + index * self.branching
+                for t in range(self.branching):
+                    rows.append(row)
+                    cols.append(base + t)
+                    vals.append(-1.0)
+                row += 1
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(row, self.total_nodes)
+        )
+
+
+def range_decomposition(
+    tree: TreeLayout, lo: int, hi: int
+) -> list[tuple[int, int]]:
+    """Cover the leaf range ``[lo, hi)`` with maximal aligned tree nodes.
+
+    Returns ``(level, index)`` pairs whose leaf spans partition the range;
+    at most ``2 * (branching - 1) * height`` nodes are needed. This is how
+    hierarchical methods answer range queries with error logarithmic in the
+    range length.
+    """
+    if not 0 <= lo <= hi <= tree.d:
+        raise ValueError(f"need 0 <= lo <= hi <= {tree.d}, got [{lo}, {hi})")
+    out: list[tuple[int, int]] = []
+    position = lo
+    while position < hi:
+        # Grow the block while it stays aligned and inside the range.
+        width, level = 1, tree.height
+        while level > 0:
+            next_width = width * tree.branching
+            if position % next_width == 0 and position + next_width <= hi:
+                width, level = next_width, level - 1
+            else:
+                break
+        out.append((level, position // width))
+        position += width
+    return out

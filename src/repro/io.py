@@ -1,0 +1,117 @@
+"""Persistence helpers: histograms, values, and estimator configurations.
+
+File formats are deliberately plain:
+
+* values — one float per line (the CLI's input format);
+* histograms — CSV with ``bucket,left,right,mass`` rows, so the estimate is
+  directly consumable by spreadsheets and plotting tools;
+* estimator configs — JSON with the public parameters (epsilon, b, d,
+  post-processing), enough to reconstruct an identical estimator; the
+  transition matrix is recomputed on load (it is a pure function of the
+  config and building it is cheaper than shipping ~d^2 floats).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import SWEstimator
+
+__all__ = [
+    "read_values",
+    "write_values",
+    "read_histogram_csv",
+    "write_histogram_csv",
+    "save_estimator_config",
+    "load_estimator_config",
+]
+
+
+def read_values(path: str | Path) -> np.ndarray:
+    """Read one float per line; blank lines and ``#`` comments are skipped."""
+    out: list[float] = []
+    with Path(path).open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                out.append(float(text))
+            except ValueError:
+                raise ValueError(f"{path}:{line_no}: not a number: {text!r}") from None
+    if not out:
+        raise ValueError(f"{path}: no values found")
+    return np.asarray(out, dtype=np.float64)
+
+
+def write_values(values: np.ndarray, path: str | Path) -> Path:
+    """Write one float per line."""
+    path = Path(path)
+    arr = np.asarray(values, dtype=np.float64)
+    path.write_text("\n".join(f"{v:.12g}" for v in arr) + "\n")
+    return path
+
+
+def write_histogram_csv(histogram: np.ndarray, path: str | Path) -> Path:
+    """Write ``bucket,left,right,mass`` rows over the unit domain."""
+    arr = np.asarray(histogram, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("histogram must be a non-empty 1-d array")
+    path = Path(path)
+    d = arr.size
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["bucket", "left", "right", "mass"])
+        for i, mass in enumerate(arr):
+            writer.writerow([i, f"{i / d:.10g}", f"{(i + 1) / d:.10g}", f"{mass:.10g}"])
+    return path
+
+
+def read_histogram_csv(path: str | Path) -> np.ndarray:
+    """Read a histogram written by :func:`write_histogram_csv`."""
+    masses: list[float] = []
+    with Path(path).open() as handle:
+        for row in csv.DictReader(handle):
+            masses.append(float(row["mass"]))
+    if not masses:
+        raise ValueError(f"{path}: no histogram rows found")
+    return np.asarray(masses, dtype=np.float64)
+
+
+def save_estimator_config(estimator: SWEstimator, path: str | Path) -> Path:
+    """Persist an SW estimator's public parameters as JSON."""
+    config = {
+        "type": "SWEstimator",
+        "epsilon": estimator.epsilon,
+        "b": estimator.mechanism.b,
+        "d": estimator.d,
+        "d_out": estimator.d_out,
+        "postprocess": estimator.postprocess,
+        "tol": estimator.tol,
+        "max_iter": estimator.max_iter,
+        "smoothing_order": estimator.smoothing_order,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(config, indent=2) + "\n")
+    return path
+
+
+def load_estimator_config(path: str | Path) -> SWEstimator:
+    """Rebuild an SW estimator from a saved config."""
+    config = json.loads(Path(path).read_text())
+    if config.get("type") != "SWEstimator":
+        raise ValueError(f"{path}: not an SWEstimator config")
+    return SWEstimator(
+        config["epsilon"],
+        config["d"],
+        b=config["b"],
+        d_out=config["d_out"],
+        postprocess=config["postprocess"],
+        tol=config["tol"],
+        max_iter=config["max_iter"],
+        smoothing_order=config["smoothing_order"],
+    )

@@ -1,0 +1,17 @@
+"""Mean/variance estimation baselines: SR and PM (paper Sections 2.2, 6.3)."""
+
+from repro.mean.piecewise import PiecewiseMechanism
+from repro.mean.stochastic_rounding import StochasticRounding
+from repro.mean.variance import (
+    estimate_mean_unit,
+    estimate_variance_unit,
+    make_mechanism,
+)
+
+__all__ = [
+    "StochasticRounding",
+    "PiecewiseMechanism",
+    "make_mechanism",
+    "estimate_mean_unit",
+    "estimate_variance_unit",
+]

@@ -1,0 +1,107 @@
+"""The Piecewise Mechanism for mean estimation (paper Section 2.2, [30]).
+
+Input domain ``[-1, 1]``, output domain ``[-s, s]`` with
+``s = (e^{eps/2} + 1) / (e^{eps/2} - 1)``. Each input ``v`` has a
+high-probability window ``[l(v), r(v)]`` of fixed width ``2/(e^{eps/2}-1)``
+whose density is ``e^eps`` times the outside density; the window center
+``e^{eps/2} v / (e^{eps/2}-1)`` moves faster than ``v``, which is what makes
+the raw report unbiased for the mean without any debiasing step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_epsilon
+
+__all__ = ["PiecewiseMechanism"]
+
+
+class PiecewiseMechanism:
+    """Piecewise Mechanism mean estimator on the canonical domain ``[-1, 1]``."""
+
+    name = "pm"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        half = math.exp(self.epsilon / 2.0)
+        self.s = (half + 1.0) / (half - 1.0)
+        #: Probability of reporting inside the high window.
+        self.window_mass = half / (half + 1.0)
+        #: Half of the high-window width.
+        self.window_half_width = 1.0 / (half - 1.0)
+        self._half = half
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("values must be a non-empty 1-d array")
+        if not np.isfinite(arr).all():
+            raise ValueError("values must be finite")
+        if arr.min() < -1.0 or arr.max() > 1.0:
+            raise ValueError("values must lie in [-1, 1]")
+        return arr
+
+    def window(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """High-probability window ``[l(v), r(v)]`` for each input."""
+        arr = np.asarray(v, dtype=np.float64)
+        left = (self._half * arr - 1.0) / (self._half - 1.0)
+        right = (self._half * arr + 1.0) / (self._half - 1.0)
+        return left, right
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Randomize each value into an unbiased float report in ``[-s, s]``.
+
+        With probability ``e^{eps/2}/(e^{eps/2}+1)`` the report is uniform on
+        the window; otherwise uniform on the two outside pieces, landing on
+        the left piece with probability proportional to its length.
+        """
+        vals = self._check_values(values)
+        gen = as_generator(rng)
+        n = vals.size
+        left, right = self.window(vals)
+        in_window = gen.random(n) < self.window_mass
+        u = gen.random(n)
+        window_draw = left + u * (right - left)
+        left_len = left + self.s  # length of [-s, l(v)]
+        right_len = self.s - right  # length of [r(v), s]
+        total = left_len + right_len
+        pos = u * total
+        outside_draw = np.where(pos < left_len, -self.s + pos, right + (pos - left_len))
+        return np.where(in_window, window_draw, outside_draw)
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        """Mean estimate — PM reports are already unbiased."""
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("reports must be a non-empty 1-d array")
+        if np.abs(arr).max() > self.s + 1e-9:
+            raise ValueError("reports outside the PM output domain")
+        return float(arr.mean())
+
+    def mean_from_values(self, values: np.ndarray, rng=None) -> float:
+        """Simulate one collection round and estimate the mean."""
+        return self.estimate_mean(self.privatize(values, rng=rng))
+
+    def pdf(self, v: float, outputs: np.ndarray) -> np.ndarray:
+        """Report density for input ``v`` (used by the LDP audit)."""
+        if not -1.0 <= v <= 1.0:
+            raise ValueError(f"v must be in [-1, 1], got {v}")
+        out = np.asarray(outputs, dtype=np.float64)
+        left, right = self.window(np.array([v]))
+        high = self._half / 2.0 * (self._half - 1.0) / (self._half + 1.0)
+        low = (self._half - 1.0) / (2.0 * self._half * (self._half + 1.0))
+        inside_domain = np.abs(out) <= self.s
+        in_window = (out >= left[0]) & (out <= right[0])
+        return np.where(inside_domain, np.where(in_window, high, low), 0.0)
+
+    @property
+    def output_low(self) -> float:
+        return -self.s
+
+    @property
+    def output_high(self) -> float:
+        return self.s

@@ -1,0 +1,73 @@
+"""Stochastic Rounding / Duchi et al.'s mean estimator (paper Section 2.2).
+
+Every user reports one of the two extreme values ``{-1, +1}`` with
+probabilities tilted toward their input: with
+``p = e^eps / (e^eps + 1)`` and ``q = 1 - p``, input ``v in [-1, 1]`` maps to
+
+    -1  with probability  q + (p - q)(1 - v)/2,
+    +1  with probability  q + (p - q)(1 + v)/2.
+
+The debiased report ``v~ = v' / (p - q)`` is unbiased for ``v``, so the
+sample mean of debiased reports estimates the population mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_epsilon
+
+__all__ = ["StochasticRounding"]
+
+
+class StochasticRounding:
+    """Stochastic Rounding mean estimator on the canonical domain ``[-1, 1]``."""
+
+    name = "sr"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        e_eps = math.exp(self.epsilon)
+        self.p = e_eps / (e_eps + 1.0)
+        self.q = 1.0 / (e_eps + 1.0)
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("values must be a non-empty 1-d array")
+        if not np.isfinite(arr).all():
+            raise ValueError("values must be finite")
+        if arr.min() < -1.0 or arr.max() > 1.0:
+            raise ValueError("values must lie in [-1, 1]")
+        return arr
+
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Randomize each value into an extreme report in ``{-1, +1}``."""
+        vals = self._check_values(values)
+        gen = as_generator(rng)
+        prob_plus = self.q + (self.p - self.q) * (1.0 + vals) / 2.0
+        draws = gen.random(vals.size)
+        return np.where(draws < prob_plus, 1.0, -1.0)
+
+    def debias(self, reports: np.ndarray) -> np.ndarray:
+        """Per-report unbiased values ``v~ = v' / (p - q)``."""
+        arr = np.asarray(reports, dtype=np.float64)
+        if not np.isin(arr, (-1.0, 1.0)).all():
+            raise ValueError("SR reports must be -1 or +1")
+        return arr / (self.p - self.q)
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        """Unbiased mean estimate from raw reports."""
+        return float(self.debias(reports).mean())
+
+    def mean_from_values(self, values: np.ndarray, rng=None) -> float:
+        """Simulate one collection round and estimate the mean."""
+        return self.estimate_mean(self.privatize(values, rng=rng))
+
+    @property
+    def report_bound(self) -> float:
+        """Magnitude of a debiased report: ``1 / (p - q)``."""
+        return 1.0 / (self.p - self.q)

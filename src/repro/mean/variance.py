@@ -1,0 +1,96 @@
+"""Mean and variance protocols on the unit domain (paper Section 6.3).
+
+SR and PM natively work on ``[-1, 1]``; this module adapts them to the
+package's canonical ``[0, 1]`` domain and implements the paper's two-phase
+variance protocol: half the users spend their budget estimating the mean,
+the estimate is broadcast, and the other half report their squared deviation
+``(v_i - mu~)^2`` through the same mechanism. The average of those squared
+deviations estimates the variance (up to the ``(mu - mu~)^2`` gap, which the
+paper also ignores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mean.piecewise import PiecewiseMechanism
+from repro.mean.stochastic_rounding import StochasticRounding
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_epsilon, check_unit_values
+
+__all__ = ["make_mechanism", "estimate_mean_unit", "estimate_variance_unit"]
+
+_MECHANISMS = {"sr": StochasticRounding, "pm": PiecewiseMechanism}
+
+
+def make_mechanism(name: str, epsilon: float):
+    """Instantiate ``"sr"`` or ``"pm"`` on ``[-1, 1]``."""
+    try:
+        cls = _MECHANISMS[name]
+    except KeyError:
+        raise ValueError(f"mechanism must be one of {sorted(_MECHANISMS)}, got {name!r}") from None
+    return cls(epsilon)
+
+
+def _to_signed(values01: np.ndarray) -> np.ndarray:
+    return 2.0 * values01 - 1.0
+
+
+def estimate_mean_unit(
+    values: np.ndarray, epsilon: float, mechanism: str = "pm", rng=None
+) -> float:
+    """Estimate the mean of values in ``[0, 1]`` with SR or PM.
+
+    The mechanism runs on the mapped domain ``[-1, 1]``; the result is mapped
+    back and clipped to ``[0, 1]`` (the clipping only matters in the extreme
+    noise regime).
+    """
+    vals = check_unit_values(values)
+    check_epsilon(epsilon)
+    mech = make_mechanism(mechanism, epsilon)
+    signed_mean = mech.mean_from_values(_to_signed(vals), rng=rng)
+    return float(np.clip((signed_mean + 1.0) / 2.0, 0.0, 1.0))
+
+
+def estimate_variance_unit(
+    values: np.ndarray,
+    epsilon: float,
+    mechanism: str = "pm",
+    rng=None,
+    mean_fraction: float = 0.5,
+) -> tuple[float, float]:
+    """Two-phase mean + variance estimation for values in ``[0, 1]``.
+
+    Returns ``(mean_estimate, variance_estimate)``, both on the unit scale.
+
+    Phase 1 uses a ``mean_fraction`` share of users for the mean. Phase 2
+    users report ``(v_i - mu~)^2``: on the signed domain the squared
+    deviation lies in ``[0, 4]``, which is affinely mapped onto ``[-1, 1]``
+    before randomization and inverted afterwards. Unit-scale variance is the
+    signed-scale value divided by 4.
+    """
+    vals = check_unit_values(values)
+    check_epsilon(epsilon)
+    if not 0.0 < mean_fraction < 1.0:
+        raise ValueError(f"mean_fraction must be in (0, 1), got {mean_fraction}")
+    if vals.size < 2:
+        raise ValueError("need at least 2 users to split between phases")
+    gen = as_generator(rng)
+    mech = make_mechanism(mechanism, epsilon)
+
+    order = gen.permutation(vals.size)
+    n_mean = max(1, int(round(vals.size * mean_fraction)))
+    n_mean = min(n_mean, vals.size - 1)
+    mean_group = _to_signed(vals[order[:n_mean]])
+    var_group = _to_signed(vals[order[n_mean:]])
+
+    signed_mean = float(np.clip(mech.mean_from_values(mean_group, rng=gen), -1.0, 1.0))
+
+    squared_dev = (var_group - signed_mean) ** 2  # in [0, 4]
+    mapped = np.clip(squared_dev / 2.0 - 1.0, -1.0, 1.0)
+    signed_sq_mean = mech.mean_from_values(mapped, rng=gen)
+    signed_variance = float(np.clip(2.0 * (signed_sq_mean + 1.0), 0.0, 4.0))
+
+    mean01 = float(np.clip((signed_mean + 1.0) / 2.0, 0.0, 1.0))
+    variance01 = signed_variance / 4.0
+    return mean01, variance01

@@ -1,0 +1,32 @@
+"""Utility metrics from Section 3 of the paper.
+
+Two families:
+
+* distribution distances that respect the ordered domain (Wasserstein-1 and
+  Kolmogorov-Smirnov, both on CDFs), and
+* semantic/statistical quantities (range queries, mean, variance, quantiles)
+  evaluated on reconstructed histograms.
+"""
+
+from repro.metrics.distances import ks_distance, wasserstein_distance
+from repro.metrics.queries import (
+    random_range_queries,
+    range_query,
+    range_query_mae,
+)
+from repro.metrics.statistics import (
+    mean_error,
+    quantile_error,
+    variance_error,
+)
+
+__all__ = [
+    "wasserstein_distance",
+    "ks_distance",
+    "range_query",
+    "random_range_queries",
+    "range_query_mae",
+    "mean_error",
+    "variance_error",
+    "quantile_error",
+]

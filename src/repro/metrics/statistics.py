@@ -1,0 +1,51 @@
+"""Statistical-quantity errors (paper Section 3.2).
+
+Mean, variance, and decile-quantile absolute errors between a true and a
+reconstructed histogram, all on the normalized ``[0, 1]`` domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.histograms import (
+    histogram_mean,
+    histogram_quantile,
+    histogram_variance,
+)
+
+__all__ = ["mean_error", "variance_error", "quantile_error", "DECILES"]
+
+#: The paper's quantile set B = {10%, 20%, ..., 90%}.
+DECILES: tuple[float, ...] = tuple(np.round(np.arange(1, 10) * 0.1, 10))
+
+
+def mean_error(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """``|mu - mu_hat|`` between two histograms on [0, 1]."""
+    return abs(histogram_mean(x) - histogram_mean(x_hat))
+
+
+def variance_error(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """``|sigma^2 - sigma_hat^2|`` between two histograms on [0, 1]."""
+    return abs(histogram_variance(x) - histogram_variance(x_hat))
+
+
+def quantile_error(
+    x: np.ndarray,
+    x_hat: np.ndarray,
+    quantiles: Sequence[float] = DECILES,
+) -> float:
+    """Mean absolute quantile displacement over ``quantiles``.
+
+    Implements ``(1/|B|) * sum_beta |Q(x, beta) - Q(x_hat, beta)|`` with the
+    paper's default deciles.
+    """
+    if len(quantiles) == 0:
+        raise ValueError("quantiles must be non-empty")
+    errs = [
+        abs(histogram_quantile(x, beta) - histogram_quantile(x_hat, beta))
+        for beta in quantiles
+    ]
+    return float(np.mean(errs))

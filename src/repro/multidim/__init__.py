@@ -1,0 +1,5 @@
+"""Multi-attribute collection via population splitting."""
+
+from repro.multidim.marginals import MultiAttributeReports, MultiAttributeSW
+
+__all__ = ["MultiAttributeSW", "MultiAttributeReports"]

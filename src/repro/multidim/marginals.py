@@ -1,0 +1,122 @@
+"""Multi-attribute collection: per-attribute marginals under one budget.
+
+Real collections rarely involve a single attribute. The standard LDP recipe
+(used by the multi-dimensional follow-up work the paper cites, e.g. Wang et
+al. [33]) is to *split the population* across attributes: each user is
+assigned one attribute uniformly at random and spends their whole budget
+reporting it. Splitting the population beats splitting the budget for
+exactly the Section 4.2 reason — LDP noise scales much worse with epsilon
+than estimate counts do with users.
+
+``MultiAttributeSW`` wraps one Square Wave + EMS estimator per attribute
+behind that splitting strategy and reconstructs every marginal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import SWEstimator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_domain_size, check_epsilon
+
+__all__ = ["MultiAttributeReports", "MultiAttributeSW"]
+
+
+@dataclass(frozen=True)
+class MultiAttributeReports:
+    """Reports from one multi-attribute collection round."""
+
+    attribute: np.ndarray  # which attribute each user reported
+    value: np.ndarray  # the SW-randomized report
+
+    def __post_init__(self) -> None:
+        if self.attribute.shape != self.value.shape or self.attribute.ndim != 1:
+            raise ValueError("attribute and value must be equal-length 1-d arrays")
+
+    @property
+    def n(self) -> int:
+        return int(self.attribute.size)
+
+
+class MultiAttributeSW:
+    """SW + EMS marginal estimation over ``k`` numerical attributes.
+
+    Parameters
+    ----------
+    epsilon:
+        Whole per-user budget (spent on a single attribute's report).
+    n_attributes:
+        Number of attributes ``k``; every user holds a value for each.
+    d:
+        Histogram granularity per attribute (shared).
+    kwargs:
+        Forwarded to each underlying :class:`SWEstimator`.
+    """
+
+    def __init__(self, epsilon: float, n_attributes: int, d: int = 256, **kwargs) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        if n_attributes < 1:
+            raise ValueError(f"n_attributes must be >= 1, got {n_attributes}")
+        self.n_attributes = int(n_attributes)
+        self.d = check_domain_size(d)
+        self._estimators = [
+            SWEstimator(epsilon, d, **kwargs) for _ in range(self.n_attributes)
+        ]
+
+    def _check_matrix(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"values must have shape (n, {self.n_attributes}), got {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise ValueError("values must contain at least one user")
+        if not np.isfinite(arr).all() or arr.min() < 0 or arr.max() > 1:
+            raise ValueError("values must be finite and in [0, 1]")
+        return arr
+
+    def privatize(self, values: np.ndarray, rng=None) -> MultiAttributeReports:
+        """Assign each user one attribute and randomize that value.
+
+        ``values`` is an ``(n, k)`` matrix; only column ``attribute[i]`` of
+        row ``i`` influences the report, so the other attributes never
+        touch the mechanism (clean per-user privacy accounting).
+        """
+        arr = self._check_matrix(values)
+        gen = as_generator(rng)
+        n = arr.shape[0]
+        assignment = gen.integers(0, self.n_attributes, size=n)
+        reports = np.empty(n, dtype=np.float64)
+        for a in range(self.n_attributes):
+            mask = assignment == a
+            if mask.any():
+                reports[mask] = self._estimators[a].privatize(arr[mask, a], rng=gen)
+        return MultiAttributeReports(attribute=assignment, value=reports)
+
+    def aggregate(self, reports: MultiAttributeReports) -> list[np.ndarray]:
+        """Reconstruct every attribute's marginal histogram.
+
+        Attributes that received no reports get the uniform fallback (and a
+        diagnostic ``result_`` of ``None``).
+        """
+        out: list[np.ndarray] = []
+        for a, estimator in enumerate(self._estimators):
+            mask = reports.attribute == a
+            if not mask.any():
+                estimator.result_ = None
+                out.append(np.full(self.d, 1.0 / self.d))
+                continue
+            out.append(estimator.aggregate(reports.value[mask]))
+        return out
+
+    def fit(self, values: np.ndarray, rng=None) -> list[np.ndarray]:
+        """Simulate one full multi-attribute collection round."""
+        return self.aggregate(self.privatize(values, rng=rng))
+
+    @property
+    def estimators(self) -> list[SWEstimator]:
+        """Per-attribute estimators (diagnostics live on each)."""
+        return list(self._estimators)

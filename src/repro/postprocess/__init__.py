@@ -1,0 +1,15 @@
+"""Constraint-restoring post-processing for noisy LDP estimates."""
+
+from repro.postprocess.norm_sub import norm_sub
+from repro.postprocess.projections import project_nonnegative, project_simplex
+from repro.postprocess.variants import base_cut, norm_cut, norm_full, norm_mul
+
+__all__ = [
+    "norm_sub",
+    "project_simplex",
+    "project_nonnegative",
+    "norm_full",
+    "norm_mul",
+    "norm_cut",
+    "base_cut",
+]

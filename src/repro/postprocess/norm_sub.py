@@ -1,0 +1,64 @@
+"""Norm-Sub post-processing (paper Section 4.1, following Wang et al. [35]).
+
+Noisy frequency estimates under LDP are unbiased but can be negative and
+need not sum to 1. Norm-Sub restores both constraints: zero out negatives,
+then shift every positive entry by the same amount so the total matches, and
+repeat if the shift created new negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["norm_sub"]
+
+
+def norm_sub(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Project noisy estimates onto {non-negative, sums to ``total``}.
+
+    Implements the iterative procedure from the paper verbatim: negatives are
+    clamped to zero and the surplus/deficit is spread uniformly over the
+    currently-positive entries; iteration continues until no positive entry
+    is pushed below zero. Terminates in at most ``d`` rounds because the
+    positive support shrinks monotonically.
+
+    Parameters
+    ----------
+    estimates:
+        1-d array of (possibly negative) frequency estimates.
+    total:
+        Target sum, 1.0 for probability vectors and ``n`` for raw counts.
+
+    Returns
+    -------
+    numpy.ndarray
+        Non-negative vector of the same length summing to ``total``. When no
+        entry is positive (all estimates drowned in noise) the uniform
+        vector is returned as the noninformative fallback.
+    """
+    arr = np.asarray(estimates, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"estimates must be a non-empty 1-d array, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError("estimates must be finite")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+
+    work = arr.copy()
+    support = work > 0
+    if not support.any():
+        return np.full(arr.size, total / arr.size)
+    for _ in range(arr.size):
+        shift = (work[support].sum() - total) / support.sum()
+        candidate = work - shift
+        still_positive = support & (candidate > 0)
+        if still_positive.sum() == support.sum():
+            out = np.where(support, candidate, 0.0)
+            # Guard against float drift so downstream code can rely on the sum.
+            if out.sum() > 0 and total > 0:
+                out *= total / out.sum()
+            return out
+        support = still_positive
+        if not support.any():
+            return np.full(arr.size, total / arr.size)
+    raise AssertionError("norm_sub failed to converge; this is a bug")

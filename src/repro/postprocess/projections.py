@@ -1,0 +1,46 @@
+"""Euclidean projections used by post-processing algorithms.
+
+``project_simplex`` is the exact L2 projection onto the probability simplex
+(water-filling). In the mass-surplus regime it coincides with Norm-Sub's
+fixpoint; it is exposed separately because HH-ADMM's analysis is in terms of
+Euclidean projections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_simplex", "project_nonnegative"]
+
+
+def project_simplex(v: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Exact Euclidean projection of ``v`` onto ``{x >= 0, sum x = total}``.
+
+    Uses the sort-based water-filling algorithm: find the largest threshold
+    ``theta`` such that ``sum max(v_i - theta, 0) = total``.
+    """
+    arr = np.asarray(v, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"v must be a non-empty 1-d array, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError("v must be finite")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if total == 0:
+        return np.zeros_like(arr)
+    sorted_desc = np.sort(arr)[::-1]
+    cumulative = np.cumsum(sorted_desc)
+    ranks = np.arange(1, arr.size + 1)
+    thresholds = (cumulative - total) / ranks
+    # rho: last index where the sorted value still exceeds its threshold.
+    rho = np.nonzero(sorted_desc > thresholds)[0][-1]
+    theta = thresholds[rho]
+    return np.maximum(arr - theta, 0.0)
+
+
+def project_nonnegative(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection onto the non-negative orthant (elementwise clamp)."""
+    arr = np.asarray(v, dtype=np.float64)
+    if not np.isfinite(arr).all():
+        raise ValueError("v must be finite")
+    return np.maximum(arr, 0.0)

@@ -1,0 +1,104 @@
+"""Alternative constraint-restoring post-processors from Wang et al. [35].
+
+The paper adopts Norm-Sub; its source ([35], *Consistent and accurate
+frequency oracles under LDP*) studies a family of alternatives. Three are
+implemented here so the choice can be ablated (see
+``benchmarks/bench_ablation_postprocess.py``):
+
+* ``norm_full`` — additive normalization only: shift every estimate equally
+  so the total matches. Unbiased, preserves differences, but keeps
+  negatives. (Called "Norm" in [35].)
+* ``norm_mul`` — multiplicative: clamp negatives to zero and rescale the
+  positives to the target total. Biased toward large estimates.
+* ``norm_cut`` — cut: zero out negatives and everything below a threshold
+  chosen so the kept mass is close to the target, without touching the
+  large estimates. Good for heavy-hitter-style tails; here the threshold is
+  simply 0 and the excess/deficit is left unnormalized unless rescaled.
+* ``base_cut`` — zero everything below a significance threshold (default:
+  one standard deviation of the oracle noise) and leave the rest unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["norm_full", "norm_mul", "norm_cut", "base_cut"]
+
+
+def _check(estimates: np.ndarray) -> np.ndarray:
+    arr = np.asarray(estimates, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("estimates must be a non-empty 1-d array")
+    if not np.isfinite(arr).all():
+        raise ValueError("estimates must be finite")
+    return arr
+
+
+def norm_full(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Additive normalization: ``x_i + (total - sum x) / d``.
+
+    Keeps every pairwise difference (and hence unbiasedness) but can leave
+    negative entries; use when downstream code tolerates signed estimates.
+    """
+    arr = _check(estimates)
+    return arr + (total - arr.sum()) / arr.size
+
+
+def norm_mul(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Multiplicative normalization: clamp negatives, rescale positives.
+
+    Returns the uniform distribution when nothing is positive.
+    """
+    arr = _check(estimates)
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    clamped = np.maximum(arr, 0.0)
+    mass = clamped.sum()
+    if mass == 0:
+        return np.full(arr.size, total / arr.size)
+    return clamped * (total / mass)
+
+
+def norm_cut(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Cut normalization: keep the largest entries whose sum reaches
+    ``total``, zero the rest, and trim the marginal entry so the result is
+    an exact distribution.
+
+    Unlike Norm-Sub this never *shifts* kept estimates, so large values
+    (spikes) pass through exactly; the cost is that the tail is zeroed.
+    """
+    arr = _check(estimates)
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    clamped = np.maximum(arr, 0.0)
+    if clamped.sum() <= total:
+        # Not enough mass to cut; fall back to multiplicative rescaling.
+        return norm_mul(arr, total)
+    order = np.argsort(clamped)[::-1]
+    kept = np.zeros_like(clamped)
+    running = 0.0
+    for idx in order:
+        value = clamped[idx]
+        if value <= 0:
+            break
+        if running + value >= total:
+            kept[idx] = total - running
+            running = total
+            break
+        kept[idx] = value
+        running += value
+    return kept
+
+
+def base_cut(estimates: np.ndarray, threshold: float) -> np.ndarray:
+    """Zero every estimate below ``threshold`` (significance cut).
+
+    ``threshold`` should be a multiple of the oracle's noise standard
+    deviation, e.g. ``2 * sqrt(oracle.estimate_variance / n)``. The output
+    is *not* renormalized — compose with another variant if a distribution
+    is needed.
+    """
+    arr = _check(estimates)
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    return np.where(arr >= threshold, arr, 0.0)

@@ -1,0 +1,5 @@
+"""Numerical privacy auditing for implemented mechanisms."""
+
+from repro.privacy.audit import AuditResult, audit_continuous_mechanism, audit_matrix
+
+__all__ = ["AuditResult", "audit_continuous_mechanism", "audit_matrix"]

@@ -1,0 +1,14 @@
+"""Deployment-shaped client/server layer for SW collection rounds."""
+
+from repro.protocol.client import SWClient
+from repro.protocol.messages import PROTOCOL_VERSION, SWReport, decode_batch, encode_batch
+from repro.protocol.server import SWServer
+
+__all__ = [
+    "SWClient",
+    "SWServer",
+    "SWReport",
+    "PROTOCOL_VERSION",
+    "encode_batch",
+    "decode_batch",
+]

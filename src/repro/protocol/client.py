@@ -1,0 +1,49 @@
+"""Client side of an SW collection round.
+
+``SWClient`` holds only public parameters (epsilon, b, round id) — it can be
+shipped to untrusted devices. ``report`` randomizes one private value and
+returns the wire message; nothing unrandomized ever leaves the call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.square_wave import SquareWave
+from repro.protocol.messages import SWReport, encode_batch
+from repro.utils.rng import as_generator
+
+__all__ = ["SWClient"]
+
+
+class SWClient:
+    """Randomizes private values for one collection round.
+
+    Parameters
+    ----------
+    round_id:
+        Identifier the server uses to group reports; also pins the
+        public parameters (epsilon, b) for the round.
+    epsilon, b:
+        Square Wave parameters (``b`` defaults to ``b*(epsilon)``).
+    """
+
+    def __init__(self, round_id: str, epsilon: float, b: float | None = None) -> None:
+        self.round_id = str(round_id)
+        self.mechanism = SquareWave(epsilon, b=b)
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    def report(self, value: float, rng=None) -> SWReport:
+        """Randomize one private value into a wire message."""
+        gen = as_generator(rng)
+        randomized = self.mechanism.privatize(np.array([value]), rng=gen)
+        return SWReport(self.round_id, float(randomized[0]))
+
+    def report_batch(self, values: np.ndarray, rng=None) -> str:
+        """Randomize many values (e.g. one per device in a fleet simulator)
+        and encode them as JSON lines."""
+        randomized = self.mechanism.privatize(values, rng=rng)
+        return encode_batch(self.round_id, randomized)

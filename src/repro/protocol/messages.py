@@ -1,0 +1,81 @@
+"""Wire format for SW collection rounds.
+
+A deployment sends one small message per user. ``SWReport`` is that message:
+the protocol version, the collection round it belongs to, and the randomized
+float. JSON-lines encoding keeps the format greppable and language-neutral;
+``encode_batch``/``decode_batch`` handle whole files.
+
+Nothing privacy-relevant lives here — by the time a value reaches a report
+it is already randomized — but decoding *validates* that reports fall inside
+the advertised output domain, so a corrupted or mismatched feed fails loudly
+instead of silently biasing the estimate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = ["PROTOCOL_VERSION", "SWReport", "encode_batch", "decode_batch"]
+
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SWReport:
+    """One user's randomized report for one collection round."""
+
+    round_id: str
+    value: float
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "SWReport":
+        data = json.loads(line)
+        try:
+            report = cls(
+                round_id=str(data["round_id"]),
+                value=float(data["value"]),
+                version=int(data.get("version", PROTOCOL_VERSION)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed SW report line: {line!r}") from exc
+        if report.version != PROTOCOL_VERSION:
+            raise ValueError(
+                f"unsupported protocol version {report.version} "
+                f"(this library speaks {PROTOCOL_VERSION})"
+            )
+        if not np.isfinite(report.value):
+            raise ValueError("report value must be finite")
+        return report
+
+
+def encode_batch(round_id: str, values: np.ndarray) -> str:
+    """Encode randomized values as JSON lines (one report per line)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("values must be 1-dimensional")
+    return "\n".join(SWReport(round_id, float(v)).to_json() for v in arr)
+
+
+def decode_batch(payload: str, expected_round: str | None = None) -> np.ndarray:
+    """Decode JSON lines into a report array, checking round consistency."""
+    values = []
+    for line in payload.splitlines():
+        if not line.strip():
+            continue
+        report = SWReport.from_json(line)
+        if expected_round is not None and report.round_id != expected_round:
+            raise ValueError(
+                f"report for round {report.round_id!r} mixed into "
+                f"round {expected_round!r}"
+            )
+        values.append(report.value)
+    if not values:
+        raise ValueError("payload contained no reports")
+    return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,101 @@
+"""Server side of an SW collection round: streaming ingestion + estimation.
+
+``SWServer`` accumulates report *counts* rather than raw reports, so memory
+stays O(d) no matter how many users stream in, and an estimate can be
+produced at any point mid-round (each estimate reruns EMS on the counts so
+far — the reports themselves are never needed again after bucketization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.em import DEFAULT_MAX_ITER, EMResult, expectation_maximization
+from repro.core.smoothing import binomial_kernel
+from repro.core.square_wave import SquareWave
+from repro.protocol.messages import SWReport, decode_batch
+from repro.utils.validation import check_domain_size
+
+__all__ = ["SWServer"]
+
+
+class SWServer:
+    """Aggregates SW reports for one round and reconstructs the histogram.
+
+    Parameters
+    ----------
+    round_id, epsilon, b:
+        Must match the round's :class:`~repro.protocol.client.SWClient`.
+    d:
+        Reconstruction granularity (also the report bucket count).
+    postprocess:
+        ``"ems"`` (default) or ``"em"``.
+    """
+
+    def __init__(
+        self,
+        round_id: str,
+        epsilon: float,
+        d: int = 1024,
+        *,
+        b: float | None = None,
+        postprocess: str = "ems",
+        tol: float | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+    ) -> None:
+        if postprocess not in ("ems", "em"):
+            raise ValueError(f"postprocess must be 'ems' or 'em', got {postprocess!r}")
+        self.round_id = str(round_id)
+        self.mechanism = SquareWave(epsilon, b=b)
+        self.d = check_domain_size(d)
+        self.postprocess = postprocess
+        if tol is None:
+            tol = 1e-3 * np.exp(epsilon) if postprocess == "em" else 1e-3
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self._counts = np.zeros(self.d, dtype=np.float64)
+        self._matrix: np.ndarray | None = None
+        self.result_: EMResult | None = None
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested so far."""
+        return int(self._counts.sum())
+
+    def ingest(self, report: SWReport) -> None:
+        """Add one report to the round."""
+        if report.round_id != self.round_id:
+            raise ValueError(
+                f"report for round {report.round_id!r} sent to round "
+                f"{self.round_id!r}"
+            )
+        self._ingest_values(np.array([report.value]))
+
+    def ingest_batch(self, payload: str) -> int:
+        """Add a JSON-lines batch; returns the number of reports ingested."""
+        values = decode_batch(payload, expected_round=self.round_id)
+        self._ingest_values(values)
+        return values.size
+
+    def ingest_values(self, values: np.ndarray) -> None:
+        """Add already-decoded randomized values (simulation fast path)."""
+        self._ingest_values(np.asarray(values, dtype=np.float64))
+
+    def _ingest_values(self, values: np.ndarray) -> None:
+        self._counts += self.mechanism.bucketize_reports(values, self.d)
+
+    def estimate(self) -> np.ndarray:
+        """Reconstruct the input histogram from all reports so far."""
+        if self.n_reports == 0:
+            raise RuntimeError("no reports ingested yet")
+        if self._matrix is None:
+            self._matrix = self.mechanism.transition_matrix(self.d, self.d)
+        kernel = binomial_kernel(2) if self.postprocess == "ems" else None
+        self.result_ = expectation_maximization(
+            self._matrix,
+            self._counts,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            smoothing_kernel=kernel,
+        )
+        return self.result_.estimate

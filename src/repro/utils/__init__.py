@@ -1,0 +1,34 @@
+"""Shared helpers: argument validation, RNG plumbing, histogram utilities."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_domain_size,
+    check_epsilon,
+    check_probability_vector,
+    check_unit_values,
+)
+from repro.utils.histograms import (
+    bucketize,
+    histogram_cdf,
+    histogram_mean,
+    histogram_quantile,
+    histogram_variance,
+    normalize_counts,
+    uniform_bucket_midpoints,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_domain_size",
+    "check_epsilon",
+    "check_probability_vector",
+    "check_unit_values",
+    "bucketize",
+    "histogram_cdf",
+    "histogram_mean",
+    "histogram_quantile",
+    "histogram_variance",
+    "normalize_counts",
+    "uniform_bucket_midpoints",
+]

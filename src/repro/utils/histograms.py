@@ -1,0 +1,102 @@
+"""Histogram helpers used across mechanisms, metrics, and experiments.
+
+Conventions
+-----------
+A *histogram* here is a length-``d`` probability vector over ``d`` equal-width
+buckets covering the unit interval: bucket ``i`` spans
+``[i/d, (i+1)/d)`` (the final bucket is closed on the right). Statistics are
+computed treating the mass of bucket ``i`` as concentrated at its midpoint
+``(i + 0.5)/d``, which is the same convention the paper uses when it derives
+means/variances/quantiles from a reconstructed distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_domain_size, check_unit_values
+
+__all__ = [
+    "bucketize",
+    "normalize_counts",
+    "uniform_bucket_midpoints",
+    "histogram_cdf",
+    "histogram_mean",
+    "histogram_variance",
+    "histogram_quantile",
+]
+
+
+def bucketize(values: np.ndarray, d: int) -> np.ndarray:
+    """Map values in ``[0, 1]`` to integer bucket indices in ``{0..d-1}``.
+
+    The value 1.0 lands in the last bucket rather than an out-of-range one.
+    """
+    arr = check_unit_values(values)
+    d = check_domain_size(d)
+    idx = np.floor(arr * d).astype(np.int64)
+    return np.minimum(idx, d - 1)
+
+
+def normalize_counts(counts: np.ndarray) -> np.ndarray:
+    """Turn a non-negative count vector into a probability vector.
+
+    A zero-total vector becomes the uniform distribution, which is the
+    correct uninformative estimate when no reports were observed.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"counts must be a non-empty 1-d array, got shape {arr.shape}")
+    if arr.min() < 0:
+        raise ValueError(f"counts must be non-negative, min={arr.min():.6g}")
+    total = arr.sum()
+    if total == 0:
+        return np.full(arr.size, 1.0 / arr.size)
+    return arr / total
+
+
+def uniform_bucket_midpoints(d: int) -> np.ndarray:
+    """Midpoints of ``d`` equal-width buckets covering ``[0, 1]``."""
+    d = check_domain_size(d)
+    return (np.arange(d) + 0.5) / d
+
+
+def histogram_cdf(x: np.ndarray) -> np.ndarray:
+    """Cumulative distribution ``P(x, v)`` evaluated at bucket right edges."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"x must be 1-dimensional, got shape {arr.shape}")
+    return np.cumsum(arr)
+
+
+def histogram_mean(x: np.ndarray) -> float:
+    """Mean of a histogram on ``[0, 1]`` using bucket midpoints."""
+    arr = np.asarray(x, dtype=np.float64)
+    return float(arr @ uniform_bucket_midpoints(arr.size))
+
+
+def histogram_variance(x: np.ndarray) -> float:
+    """Variance of a histogram on ``[0, 1]`` using bucket midpoints."""
+    arr = np.asarray(x, dtype=np.float64)
+    mids = uniform_bucket_midpoints(arr.size)
+    mean = float(arr @ mids)
+    return float(arr @ (mids - mean) ** 2)
+
+
+def histogram_quantile(x: np.ndarray, beta: float) -> float:
+    """Paper-style quantile ``Q(x, beta) = argmax_v { P(x, v) <= beta }``.
+
+    Returns the *position* (in ``[0, 1]``) of the right edge of the last
+    bucket whose CDF does not exceed ``beta``; 0.0 when even the first bucket
+    overshoots. Quantile *errors* are therefore directly comparable across
+    granularities.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    cdf = histogram_cdf(arr)
+    # Tolerate float round-off at exact quantile boundaries.
+    ok = np.nonzero(cdf <= beta + 1e-12)[0]
+    if ok.size == 0:
+        return 0.0
+    return float((ok[-1] + 1) / arr.size)

@@ -1,0 +1,82 @@
+"""Argument validation shared by every public entry point.
+
+All validators raise ``ValueError`` (or ``TypeError`` for wrong types) with a
+message naming the offending argument, so failures surface at the API
+boundary instead of deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_epsilon",
+    "check_domain_size",
+    "check_unit_values",
+    "check_probability_vector",
+]
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate a privacy budget and return it as a float.
+
+    Parameters
+    ----------
+    epsilon:
+        The LDP privacy parameter. Must be a finite, strictly positive
+        number.
+    """
+    value = float(epsilon)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    return value
+
+
+def check_domain_size(d: int, *, name: str = "d", minimum: int = 2) -> int:
+    """Validate a (bucketized) domain size and return it as an int."""
+    if not float(d).is_integer():
+        raise ValueError(f"{name} must be an integer, got {d!r}")
+    value = int(d)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_unit_values(values: np.ndarray, *, name: str = "values") -> np.ndarray:
+    """Validate a 1-d array of inputs in ``[0, 1]`` and return it as float64.
+
+    The unit interval is the canonical input domain for every continuous
+    mechanism in this package; callers rescale real-world data first.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} must be finite")
+    if arr.min() < 0.0 or arr.max() > 1.0:
+        raise ValueError(
+            f"{name} must lie in [0, 1], got range "
+            f"[{arr.min():.6g}, {arr.max():.6g}]"
+        )
+    return arr
+
+
+def check_probability_vector(
+    x: np.ndarray, *, name: str = "x", atol: float = 1e-6
+) -> np.ndarray:
+    """Validate a non-negative vector summing to 1 and return it as float64."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} must be finite")
+    if arr.min() < -atol:
+        raise ValueError(f"{name} must be non-negative, min={arr.min():.6g}")
+    total = arr.sum()
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1, got {total:.6g}")
+    return arr

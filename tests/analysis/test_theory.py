@@ -1,0 +1,148 @@
+"""Tests validating the closed-form error theory against simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    grr_variance,
+    hierarchy_level_variance,
+    hrr_variance,
+    olh_variance,
+    oracle_crossover_domain,
+    pm_variance,
+    pm_worst_case_variance,
+    range_query_std,
+    required_population,
+    sr_variance,
+    sw_exact_mutual_information,
+)
+from repro.core.bandwidth import mutual_information_bound, optimal_bandwidth
+from repro.core.square_wave import SquareWave
+
+
+class TestOracleVariances:
+    def test_match_oracle_properties(self):
+        from repro.freq_oracle import GRR, HRR, OLH
+
+        assert grr_variance(1.0, 32) == GRR(1.0, 32).estimate_variance
+        assert olh_variance(1.0) == OLH(1.0, 32).estimate_variance
+        assert hrr_variance(1.0) == HRR(1.0, 32).estimate_variance
+
+    def test_crossover_consistent_with_adaptive_choice(self):
+        from repro.freq_oracle.adaptive import best_oracle_name
+
+        for eps in (0.5, 1.0, 2.0):
+            boundary = oracle_crossover_domain(eps)
+            assert best_oracle_name(eps, boundary) == "olh"
+            assert best_oracle_name(eps, boundary - 1) == "grr"
+
+    def test_grr_variance_empirical(self):
+        """Formula vs simulated estimator variance."""
+        from repro.freq_oracle import GRR
+
+        eps, d, n = 1.0, 8, 50_000
+        values = np.zeros(n, dtype=np.int64)
+        samples = [
+            GRR(eps, d).estimate_from_values(values, rng=np.random.default_rng(s))[3]
+            for s in range(80)
+        ]
+        assert np.var(samples) == pytest.approx(grr_variance(eps, d) / n, rel=0.5)
+
+
+class TestMeanMechanismVariances:
+    @pytest.mark.parametrize("v", [-0.8, 0.0, 0.5])
+    def test_sr_variance_empirical(self, v, rng):
+        from repro.mean.stochastic_rounding import StochasticRounding
+
+        sr = StochasticRounding(1.0)
+        reports = sr.debias(sr.privatize(np.full(200_000, v), rng=rng))
+        assert reports.var() == pytest.approx(sr_variance(1.0, v), rel=0.05)
+
+    @pytest.mark.parametrize("v", [-1.0, 0.0, 0.7])
+    def test_pm_variance_empirical(self, v, rng):
+        from repro.mean.piecewise import PiecewiseMechanism
+
+        pm = PiecewiseMechanism(1.0)
+        reports = pm.privatize(np.full(200_000, v), rng=rng)
+        assert reports.var() == pytest.approx(pm_variance(1.0, v), rel=0.05)
+
+    def test_worst_case_at_extreme(self):
+        assert pm_worst_case_variance(2.0) == pm_variance(2.0, 1.0)
+        assert pm_variance(2.0, 1.0) > pm_variance(2.0, 0.0)
+
+    def test_pm_beats_sr_at_large_epsilon(self):
+        """The paper's Section 2.2 comparison: PM better for large eps."""
+        assert pm_worst_case_variance(4.0) < sr_variance(4.0, 1.0) + 1.0
+        # At small epsilon SR is competitive.
+        assert sr_variance(0.5, 0.0) < pm_variance(0.5, 0.0) * 10
+
+
+class TestHierarchyPlanning:
+    def test_level_variance_scales_inversely_with_users(self):
+        assert hierarchy_level_variance(1.0, 64, 2000) == pytest.approx(
+            hierarchy_level_variance(1.0, 64, 1000) / 2
+        )
+
+    def test_range_query_std_decreases_with_n(self):
+        assert range_query_std(1.0, 256, 100_000) < range_query_std(1.0, 256, 10_000)
+
+    def test_range_query_std_empirical_order(self):
+        """Prediction within a factor of ~3 of simulated HH error."""
+        from repro.hierarchy.hh import HierarchicalHistogram
+
+        eps, d, n = 1.0, 64, 30_000
+        values = np.random.default_rng(0).random(n)
+        truth = np.bincount((values * d).astype(int).clip(0, d - 1), minlength=d) / n
+        true_mass = truth[:13].sum()
+        errors = []
+        for seed in range(6):
+            hh = HierarchicalHistogram(eps, d=d, branching=4)
+            hh.fit(values, rng=np.random.default_rng(seed))
+            errors.append(hh.range_query(0.0, 0.2) - true_mass)
+        predicted = range_query_std(eps, d, n, branching=4, range_fraction=0.2)
+        empirical = np.std(errors)
+        assert empirical < 3 * predicted
+        assert empirical > predicted / 10
+
+    def test_required_population_roundtrip(self):
+        n = required_population(1.0, target_std=0.01)
+        assert olh_variance(1.0) / n <= 0.01**2 * 1.001
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_population(1.0, target_std=0.0)
+        with pytest.raises(ValueError):
+            range_query_std(1.0, 100, 1000, branching=4)
+
+
+class TestExactMutualInformation:
+    def test_below_upper_bound(self):
+        """The paper's bound (uniform output) dominates the exact MI."""
+        eps = 1.0
+        b = optimal_bandwidth(eps)
+        sw = SquareWave(eps, b=b)
+        m = sw.transition_matrix(64, 64)
+        x = np.random.default_rng(0).dirichlet(np.ones(64))
+        exact = sw_exact_mutual_information(m, x)
+        assert 0.0 < exact <= mutual_information_bound(eps, b) + 1e-9
+
+    def test_zero_for_uninformative_mechanism(self):
+        # A constant-column matrix reveals nothing about the input.
+        m = np.full((8, 4), 1.0 / 8)
+        x = np.full(4, 0.25)
+        assert sw_exact_mutual_information(m, x) == pytest.approx(0.0)
+
+    def test_identity_mechanism_gives_entropy(self):
+        x = np.array([0.5, 0.25, 0.25])
+        expected = -(x * np.log(x)).sum()
+        assert sw_exact_mutual_information(np.eye(3), x) == pytest.approx(expected)
+
+    def test_more_epsilon_more_information(self):
+        x = np.random.default_rng(1).dirichlet(np.ones(32))
+        values = []
+        for eps in (0.5, 1.0, 2.0):
+            sw = SquareWave(eps)
+            values.append(sw_exact_mutual_information(sw.transition_matrix(32, 32), x))
+        assert values[0] < values[1] < values[2]

@@ -1,0 +1,74 @@
+"""Unit and statistical tests for CFO with binning."""
+
+import numpy as np
+import pytest
+
+from repro.binning.cfo_binning import CFOBinning, spread_uniformly
+from repro.freq_oracle.grr import GRR
+from repro.freq_oracle.olh import OLH
+from repro.metrics.distances import wasserstein_distance
+from tests.conftest import true_histogram
+
+
+class TestSpreadUniformly:
+    def test_doubling(self):
+        out = spread_uniformly(np.array([0.6, 0.4]), 4)
+        np.testing.assert_allclose(out, [0.3, 0.3, 0.2, 0.2])
+
+    def test_identity_when_equal(self):
+        x = np.array([0.25, 0.25, 0.5])
+        np.testing.assert_allclose(spread_uniformly(x, 3), x)
+
+    def test_preserves_total(self, rng):
+        x = rng.dirichlet(np.ones(8))
+        assert spread_uniformly(x, 64).sum() == pytest.approx(1.0)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            spread_uniformly(np.ones(3) / 3, 10)
+
+
+class TestCFOBinning:
+    def test_name_reflects_bins(self):
+        assert CFOBinning(1.0, 1024, bins=32).name == "cfo-binning-32"
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            CFOBinning(1.0, d=100, bins=32)
+
+    def test_adaptive_oracle_choice(self):
+        # Small chunk count at eps=1 -> GRR; many chunks -> OLH.
+        assert isinstance(CFOBinning(1.0, 1024, bins=8).oracle, GRR)
+        assert isinstance(CFOBinning(1.0, 1024, bins=64).oracle, OLH)
+
+    def test_output_is_distribution(self, beta_values, rng):
+        est = CFOBinning(1.0, d=64, bins=16)
+        out = est.fit(beta_values, rng=rng)
+        assert out.shape == (64,)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_uniform_within_chunk(self, beta_values, rng):
+        est = CFOBinning(1.0, d=64, bins=16)
+        out = est.fit(beta_values, rng=rng)
+        # Within each chunk of 4 fine buckets the estimate is constant.
+        blocks = out.reshape(16, 4)
+        assert (np.ptp(blocks, axis=1) < 1e-12).all()
+
+    def test_accuracy_high_epsilon(self, beta_values, rng):
+        est = CFOBinning(4.0, d=64, bins=16)
+        out = est.fit(beta_values, rng=rng)
+        truth = true_histogram(beta_values, 64)
+        assert wasserstein_distance(truth, out) < 0.03
+
+    def test_binning_bias_floor(self, beta_values):
+        """Even with near-infinite budget, coarse bins leave residual bias —
+        the error floor visible in the paper's Figure 2 flat lines."""
+        truth = true_histogram(beta_values, 64)
+        coarse = CFOBinning(8.0, d=64, bins=4).fit(
+            beta_values, rng=np.random.default_rng(0)
+        )
+        fine = CFOBinning(8.0, d=64, bins=64).fit(
+            beta_values, rng=np.random.default_rng(0)
+        )
+        assert wasserstein_distance(truth, fine) < wasserstein_distance(truth, coarse)

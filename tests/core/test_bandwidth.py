@@ -1,0 +1,69 @@
+"""Unit tests for bandwidth selection, anchored to the paper's values."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import (
+    discrete_bandwidth,
+    mutual_information_bound,
+    optimal_bandwidth,
+)
+
+
+class TestOptimalBandwidth:
+    @pytest.mark.parametrize(
+        "epsilon,expected",
+        [(1.0, 0.256), (2.0, 0.129), (3.0, 0.064), (4.0, 0.030)],
+    )
+    def test_paper_figure6_anchors(self, epsilon, expected):
+        """b*(eps) values printed in the paper's Figure 6 captions."""
+        assert optimal_bandwidth(epsilon) == pytest.approx(expected, abs=5e-4)
+
+    def test_monotone_nonincreasing(self):
+        grid = np.linspace(0.05, 8.0, 60)
+        values = [optimal_bandwidth(e) for e in grid]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_limit_small_epsilon_is_half(self):
+        assert optimal_bandwidth(1e-6) == pytest.approx(0.5, abs=1e-4)
+
+    def test_limit_large_epsilon_is_zero(self):
+        assert optimal_bandwidth(20.0) < 0.01
+
+    def test_always_in_valid_range(self):
+        for eps in np.geomspace(1e-3, 10.0, 50):
+            assert 0.0 < optimal_bandwidth(eps) <= 0.5 + 1e-9
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            optimal_bandwidth(0.0)
+
+
+class TestDiscreteBandwidth:
+    def test_floor_of_scaled(self):
+        assert discrete_bandwidth(1.0, 100) == int(optimal_bandwidth(1.0) * 100)
+
+    def test_zero_for_large_epsilon_small_domain(self):
+        assert discrete_bandwidth(6.0, 4) == 0
+
+    def test_grows_with_domain(self):
+        assert discrete_bandwidth(1.0, 1024) > discrete_bandwidth(1.0, 64)
+
+
+class TestMutualInformationBound:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0, 4.0])
+    def test_b_star_is_argmax(self, epsilon):
+        """The closed-form b* maximizes the bound over a fine grid."""
+        b_star = optimal_bandwidth(epsilon)
+        best = mutual_information_bound(epsilon, b_star)
+        for b in np.linspace(0.01, 0.5, 200):
+            assert mutual_information_bound(epsilon, b) <= best + 1e-12
+
+    def test_bound_positive(self):
+        assert mutual_information_bound(1.0, 0.25) > 0.0
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            mutual_information_bound(1.0, 0.0)
+        with pytest.raises(ValueError):
+            mutual_information_bound(1.0, 0.6)

@@ -1,0 +1,137 @@
+"""Unit, statistical, and privacy tests for General Wave mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.general_wave import WAVE_SHAPES, GeneralWave
+from repro.core.square_wave import SquareWave
+from repro.privacy.audit import audit_continuous_mechanism
+
+
+class TestGeneralWaveParameters:
+    def test_square_ratio_matches_sw(self):
+        gw = GeneralWave(1.0, ratio=1.0)
+        sw = SquareWave(1.0)
+        assert gw.q == pytest.approx(sw.q)
+        assert gw.peak == pytest.approx(sw.p)
+
+    def test_peak_is_e_eps_q(self):
+        for ratio in (0.0, 0.4, 1.0):
+            gw = GeneralWave(1.3, ratio=ratio)
+            assert gw.peak / gw.q == pytest.approx(math.exp(1.3))
+
+    def test_bump_mass_identity(self):
+        """bump mass == 1 - (2b+1) q for every shape (GW definition)."""
+        for ratio in (0.0, 0.2, 0.6, 1.0):
+            gw = GeneralWave(1.0, ratio=ratio)
+            assert gw.bump_mass == pytest.approx(1 - (2 * gw.b + 1) * gw.q)
+
+    def test_smaller_ratio_means_larger_q(self):
+        """Less plateau area must be compensated by a higher baseline."""
+        qs = [GeneralWave(1.0, ratio=r).q for r in (0.0, 0.5, 1.0)]
+        assert qs[0] > qs[1] > qs[2]
+
+    def test_shape_names(self):
+        assert GeneralWave(1.0, ratio=1.0).name == "square"
+        assert GeneralWave(1.0, ratio=0.0).name == "triangle"
+        assert GeneralWave(1.0, ratio=0.4).name == "trapezoid-0.4"
+
+    def test_wave_shapes_registry(self):
+        assert set(WAVE_SHAPES) == {
+            "square",
+            "trapezoid-0.8",
+            "trapezoid-0.6",
+            "trapezoid-0.4",
+            "trapezoid-0.2",
+            "triangle",
+        }
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            GeneralWave(1.0, ratio=1.5)
+
+
+class TestBumpFunctions:
+    @pytest.mark.parametrize("ratio", [0.0, 0.3, 0.7, 1.0])
+    def test_cdf_matches_density_integral(self, ratio):
+        gw = GeneralWave(1.0, ratio=ratio)
+        grid = np.linspace(-gw.b, gw.b, 100_001)
+        numeric = np.concatenate(
+            [[0.0], np.cumsum((gw.bump_density(grid)[1:] + gw.bump_density(grid)[:-1]) / 2 * np.diff(grid))]
+        )
+        np.testing.assert_allclose(gw.bump_cdf(grid), numeric, atol=1e-6)
+
+    def test_cdf_endpoints(self):
+        gw = GeneralWave(1.0, ratio=0.5)
+        assert gw.bump_cdf(np.array([-gw.b]))[0] == pytest.approx(0.0)
+        assert gw.bump_cdf(np.array([gw.b]))[0] == pytest.approx(gw.bump_mass)
+
+    def test_density_symmetric(self):
+        gw = GeneralWave(1.0, ratio=0.3)
+        zs = np.linspace(0, gw.b, 50)
+        np.testing.assert_allclose(gw.bump_density(zs), gw.bump_density(-zs))
+
+    def test_pdf_integrates_to_one(self):
+        for ratio in (0.0, 0.5, 1.0):
+            gw = GeneralWave(1.0, ratio=ratio)
+            grid = np.linspace(gw.output_low, gw.output_high, 400_001)
+            assert np.trapezoid(gw.pdf(0.4, grid), grid) == pytest.approx(1.0, abs=1e-4)
+
+
+class TestGeneralWaveSampling:
+    @pytest.mark.parametrize("ratio", [0.0, 0.4, 0.8])
+    def test_empirical_density_matches_pdf(self, ratio, rng):
+        gw = GeneralWave(1.0, ratio=ratio)
+        v = 0.5
+        reports = gw.privatize(np.full(500_000, v), rng=rng)
+        counts, edges = np.histogram(
+            reports, bins=80, range=(gw.output_low, gw.output_high), density=True
+        )
+        centers = (edges[:-1] + edges[1:]) / 2
+        np.testing.assert_allclose(counts, gw.pdf(v, centers), atol=0.06)
+
+    def test_reports_in_domain(self, rng):
+        gw = GeneralWave(1.0, ratio=0.2)
+        reports = gw.privatize(rng.random(20_000), rng=rng)
+        assert reports.min() >= gw.output_low and reports.max() <= gw.output_high
+
+
+class TestGeneralWavePrivacy:
+    @pytest.mark.parametrize("ratio", [0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+    def test_ldp_all_shapes(self, ratio):
+        result = audit_continuous_mechanism(GeneralWave(1.0, ratio=ratio))
+        assert result.satisfied
+
+    @given(st.floats(0.2, 3.0), st.floats(0.0, 1.0), st.floats(0.05, 0.5))
+    def test_ldp_property(self, epsilon, ratio, b):
+        result = audit_continuous_mechanism(
+            GeneralWave(epsilon, b=b, ratio=ratio), input_grid=9, output_grid=81
+        )
+        assert result.satisfied
+
+
+class TestGeneralWaveMatrix:
+    def test_columns_sum_to_one(self):
+        for ratio in (0.0, 0.5):
+            m = GeneralWave(1.0, ratio=ratio).transition_matrix(24, 24)
+            np.testing.assert_allclose(m.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_square_case_routes_to_exact(self):
+        gw = GeneralWave(1.0, ratio=1.0)
+        sw = SquareWave(1.0)
+        np.testing.assert_allclose(
+            gw.transition_matrix(16, 16), sw.transition_matrix(16, 16), atol=1e-12
+        )
+
+    def test_matrix_matches_monte_carlo(self, rng):
+        gw = GeneralWave(1.0, ratio=0.4)
+        d = 8
+        m = gw.transition_matrix(d, d)
+        bucket = 5
+        values = rng.uniform(bucket / d, (bucket + 1) / d, 400_000)
+        counts = gw.bucketize_reports(gw.privatize(values, rng=rng), d)
+        np.testing.assert_allclose(counts / counts.sum(), m[:, bucket], atol=0.004)

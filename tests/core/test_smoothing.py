@@ -1,0 +1,84 @@
+"""Unit and property tests for binomial smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.smoothing import binomial_kernel, smooth
+
+
+class TestBinomialKernel:
+    def test_paper_kernel(self):
+        np.testing.assert_allclose(binomial_kernel(2), [0.25, 0.5, 0.25])
+
+    def test_order_four(self):
+        np.testing.assert_allclose(binomial_kernel(4), np.array([1, 4, 6, 4, 1]) / 16)
+
+    def test_order_zero_is_identity(self):
+        np.testing.assert_allclose(binomial_kernel(0), [1.0])
+
+    def test_sums_to_one(self):
+        for order in (0, 2, 4, 6, 8):
+            assert binomial_kernel(order).sum() == pytest.approx(1.0)
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(ValueError):
+            binomial_kernel(3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binomial_kernel(-2)
+
+
+class TestSmooth:
+    def test_interior_formula(self):
+        """x_i <- x_i/2 + (x_{i-1} + x_{i+1})/4, the paper's S-step."""
+        x = np.array([0.0, 1.0, 0.0, 0.0, 0.0])
+        out = smooth(x)
+        assert out[1] == pytest.approx(0.5)
+        assert out[0] == pytest.approx(0.25 / 0.75)  # boundary renormalized
+        assert out[2] == pytest.approx(0.25)
+        assert out[3] == 0.0
+
+    def test_uniform_fixed_point(self):
+        x = np.full(16, 1.0 / 16)
+        np.testing.assert_allclose(smooth(x), x)
+
+    def test_reduces_total_variation(self, rng):
+        x = rng.dirichlet(np.ones(64))
+        tv = np.abs(np.diff(x)).sum()
+        tv_smoothed = np.abs(np.diff(smooth(x))).sum()
+        assert tv_smoothed <= tv + 1e-12
+
+    def test_custom_kernel(self):
+        x = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        out = smooth(x, binomial_kernel(4))
+        # Boundary taps are renormalized: index 0 keeps kernel weights
+        # {6,4,1}/16 -> weight 11/16; index 1 keeps {4,6,4,1}/16 -> 15/16.
+        np.testing.assert_allclose(out, [1 / 11, 4 / 15, 6 / 16, 4 / 15, 1 / 11])
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ValueError):
+            smooth(np.ones(4), np.array([0.5, 0.5]))
+
+    def test_rejects_wide_kernel(self):
+        with pytest.raises(ValueError):
+            smooth(np.ones(2), binomial_kernel(8))
+
+    @given(hnp.arrays(np.float64, st.integers(3, 64), elements=st.floats(0.0, 1.0)))
+    def test_preserves_nonnegativity(self, x):
+        assert (smooth(x) >= 0.0).all()
+
+    @given(hnp.arrays(np.float64, st.integers(3, 64), elements=st.floats(0.0, 1.0)))
+    def test_bounded_by_extremes(self, x):
+        out = smooth(x)
+        assert out.max() <= x.max() + 1e-12
+        assert out.min() >= x.min() - 1e-12
+
+    @given(hnp.arrays(np.float64, st.integers(3, 32), elements=st.floats(0.001, 1.0)))
+    def test_mass_approximately_preserved(self, x):
+        """Boundary renormalization keeps the total within the edge mass."""
+        out = smooth(x)
+        assert out.sum() == pytest.approx(x.sum(), rel=0.35)

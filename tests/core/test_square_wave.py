@@ -1,0 +1,170 @@
+"""Unit, statistical, and privacy tests for the Square Wave mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import optimal_bandwidth
+from repro.core.square_wave import DiscreteSquareWave, SquareWave
+from repro.privacy.audit import audit_continuous_mechanism, audit_matrix
+
+
+class TestSquareWaveParameters:
+    def test_default_b_is_optimal(self):
+        sw = SquareWave(1.0)
+        assert sw.b == pytest.approx(optimal_bandwidth(1.0))
+
+    def test_p_q_ratio(self):
+        sw = SquareWave(1.5)
+        assert sw.p / sw.q == pytest.approx(math.exp(1.5))
+
+    def test_density_normalizes(self):
+        """2b*p + 1*q = 1 (near band width 2b, far length exactly 1)."""
+        sw = SquareWave(2.0, b=0.2)
+        assert 2 * sw.b * sw.p + sw.q == pytest.approx(1.0)
+
+    def test_output_domain(self):
+        sw = SquareWave(1.0, b=0.3)
+        assert sw.output_low == pytest.approx(-0.3)
+        assert sw.output_high == pytest.approx(1.3)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            SquareWave(1.0, b=0.0)
+        with pytest.raises(ValueError):
+            SquareWave(1.0, b=0.6)
+
+
+class TestSquareWavePdf:
+    def test_near_band_is_p(self):
+        sw = SquareWave(1.0, b=0.2)
+        assert sw.pdf(0.5, np.array([0.5, 0.4, 0.69]))[0] == sw.p
+
+    def test_far_is_q(self):
+        sw = SquareWave(1.0, b=0.2)
+        np.testing.assert_allclose(sw.pdf(0.5, np.array([0.0, 1.1])), sw.q)
+
+    def test_outside_domain_zero(self):
+        sw = SquareWave(1.0, b=0.2)
+        np.testing.assert_allclose(sw.pdf(0.5, np.array([-0.5, 1.5])), 0.0)
+
+    def test_integrates_to_one(self):
+        sw = SquareWave(1.0, b=0.25)
+        grid = np.linspace(sw.output_low, sw.output_high, 2_000_001)
+        integral = np.trapezoid(sw.pdf(0.3, grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-5)
+
+
+class TestSquareWavePrivatize:
+    def test_reports_in_output_domain(self, rng):
+        sw = SquareWave(1.0)
+        reports = sw.privatize(rng.random(10_000), rng=rng)
+        assert reports.min() >= sw.output_low
+        assert reports.max() <= sw.output_high
+
+    def test_near_band_probability(self, rng):
+        sw = SquareWave(1.0, b=0.25)
+        reports = sw.privatize(np.full(100_000, 0.5), rng=rng)
+        near_rate = (np.abs(reports - 0.5) <= sw.b).mean()
+        assert near_rate == pytest.approx(2 * sw.b * sw.p, abs=0.005)
+
+    def test_empirical_density_matches_pdf(self, rng):
+        """Report histogram for a fixed input matches the exact density."""
+        sw = SquareWave(1.0, b=0.2)
+        v = 0.123
+        reports = sw.privatize(np.full(400_000, v), rng=rng)
+        bins = 60
+        counts, edges = np.histogram(
+            reports, bins=bins, range=(sw.output_low, sw.output_high), density=True
+        )
+        centers = (edges[:-1] + edges[1:]) / 2
+        expected = sw.pdf(v, centers)
+        # Only compare bins fully inside one regime (not straddling edges).
+        interior = (np.abs(np.abs(centers - v) - sw.b) > (edges[1] - edges[0]))
+        np.testing.assert_allclose(counts[interior], expected[interior], rtol=0.1)
+
+    def test_edge_inputs_supported(self, rng):
+        sw = SquareWave(1.0)
+        for v in (0.0, 1.0):
+            reports = sw.privatize(np.full(1000, v), rng=rng)
+            assert reports.min() >= sw.output_low - 1e-12
+            assert reports.max() <= sw.output_high + 1e-12
+
+
+class TestSquareWavePrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0, 4.0])
+    def test_continuous_ldp(self, epsilon):
+        result = audit_continuous_mechanism(SquareWave(epsilon))
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(epsilon), rel=1e-9)
+
+    @given(st.floats(0.1, 4.0), st.floats(0.05, 0.5))
+    def test_ldp_for_any_bandwidth(self, epsilon, b):
+        """Privacy holds for every b, not just b* (property test)."""
+        result = audit_continuous_mechanism(
+            SquareWave(epsilon, b=b), input_grid=11, output_grid=101
+        )
+        assert result.satisfied
+
+
+class TestDiscreteSquareWave:
+    def test_parameters_normalize(self):
+        dsw = DiscreteSquareWave(1.0, 32)
+        e = math.exp(1.0)
+        assert (2 * dsw.b + 1) * dsw.p + (dsw.d - 1) * dsw.q == pytest.approx(1.0)
+        assert dsw.p / dsw.q == pytest.approx(e)
+
+    def test_output_domain_size(self):
+        dsw = DiscreteSquareWave(1.0, 32, b=5)
+        assert dsw.d_out == 42
+
+    def test_reports_in_domain(self, rng):
+        dsw = DiscreteSquareWave(1.0, 32)
+        reports = dsw.privatize(rng.integers(0, 32, 10_000), rng=rng)
+        assert reports.min() >= 0 and reports.max() < dsw.d_out
+
+    def test_near_set_probability(self, rng):
+        dsw = DiscreteSquareWave(1.0, 16)
+        v = 7
+        reports = dsw.privatize(np.full(100_000, v), rng=rng)
+        near = (reports >= v) & (reports <= v + 2 * dsw.b)
+        assert near.mean() == pytest.approx((2 * dsw.b + 1) * dsw.p, abs=0.005)
+
+    def test_far_reports_uniform(self, rng):
+        dsw = DiscreteSquareWave(1.0, 8, b=1)
+        v = 0
+        reports = dsw.privatize(np.full(200_000, v), rng=rng)
+        far_mask = (reports < v) | (reports > v + 2 * dsw.b)
+        far_counts = np.bincount(reports[far_mask], minlength=dsw.d_out)
+        far_positions = far_counts[far_counts > 0]
+        # Every far position should receive roughly the same mass.
+        assert far_positions.size == dsw.d - 1
+        np.testing.assert_allclose(
+            far_positions / far_positions.sum(), 1.0 / (dsw.d - 1), rtol=0.1
+        )
+
+    def test_matrix_ldp(self):
+        dsw = DiscreteSquareWave(1.0, 32)
+        result = audit_matrix(dsw.transition_matrix(), 1.0)
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(1.0))
+
+    def test_matrix_matches_empirical(self, rng):
+        dsw = DiscreteSquareWave(1.0, 8)
+        m = dsw.transition_matrix()
+        v = 3
+        reports = dsw.privatize(np.full(300_000, v), rng=rng)
+        empirical = np.bincount(reports, minlength=dsw.d_out) / reports.size
+        np.testing.assert_allclose(empirical, m[:, v], atol=0.004)
+
+    def test_b_zero_allowed(self, rng):
+        dsw = DiscreteSquareWave(5.0, 4, b=0)
+        reports = dsw.privatize(np.array([0, 1, 2, 3]), rng=rng)
+        assert reports.min() >= 0 and reports.max() < 4
+
+    def test_rejects_out_of_domain_values(self, rng):
+        with pytest.raises(ValueError):
+            DiscreteSquareWave(1.0, 8).privatize(np.array([8]), rng=rng)

@@ -1,0 +1,120 @@
+"""Unit and property tests for transition-matrix construction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.square_wave import SquareWave
+from repro.core.transform import (
+    discrete_sw_transition_matrix,
+    sw_transition_matrix,
+    trapezoid_antiderivative,
+)
+
+
+class TestTrapezoidAntiderivative:
+    def test_zero_before_support(self):
+        assert trapezoid_antiderivative(np.array([-5.0]), 0.0, 2.0, 1.0)[0] == 0.0
+
+    def test_total_area(self):
+        # Trapezoid t1=0, rise to lmax=1 at t=1, plateau to t3=2, fall to 3.
+        total = trapezoid_antiderivative(np.array([10.0]), 0.0, 2.0, 1.0)[0]
+        # area = rise (0.5) + plateau (1*1) + fall (0.5)
+        assert total == pytest.approx(2.0)
+
+    def test_matches_numerical_integration(self):
+        t1, t3, lmax = -0.3, 0.4, 0.25
+        t4 = t3 + lmax
+
+        def trap(v):
+            return max(0.0, min(v - t1, t4 - v, lmax))
+
+        grid = np.linspace(-1.0, 1.0, 200_001)
+        numeric = np.cumsum([trap(v) for v in grid]) * (grid[1] - grid[0])
+        exact = trapezoid_antiderivative(grid, t1, t3, lmax)
+        np.testing.assert_allclose(exact[1:], numeric[:-1], atol=1e-4)
+
+    @given(
+        st.floats(-1.0, 1.0),
+        st.floats(0.01, 1.0),
+        st.floats(0.01, 0.5),
+    )
+    def test_monotone_nondecreasing(self, t1, gap, lmax):
+        t3 = t1 + lmax + gap
+        ts = np.linspace(t1 - 1, t3 + lmax + 1, 100)
+        vals = trapezoid_antiderivative(ts, t1, t3, lmax)
+        assert (np.diff(vals) >= -1e-12).all()
+
+
+class TestSWTransitionMatrix:
+    @pytest.mark.parametrize("d,d_out", [(16, 16), (32, 16), (16, 32), (64, 64)])
+    def test_columns_sum_to_one(self, d, d_out):
+        sw = SquareWave(1.0)
+        m = sw_transition_matrix((sw.p, sw.q), sw.b, d, d_out)
+        np.testing.assert_allclose(m.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_all_entries_positive(self):
+        sw = SquareWave(1.0)
+        m = sw_transition_matrix((sw.p, sw.q), sw.b, 32, 32)
+        assert m.min() > 0.0
+
+    def test_entries_bounded_by_p_times_width(self):
+        sw = SquareWave(1.0)
+        d = 32
+        m = sw_transition_matrix((sw.p, sw.q), sw.b, d, d)
+        out_width = (1 + 2 * sw.b) / d
+        assert m.max() <= sw.p * out_width + 1e-12
+        assert m.min() >= sw.q * out_width - 1e-12
+
+    def test_matches_monte_carlo(self, rng):
+        """Columns must equal the empirical report distribution of inputs
+        drawn uniformly inside one bucket."""
+        sw = SquareWave(1.0)
+        d = 8
+        m = sw_transition_matrix((sw.p, sw.q), sw.b, d, d)
+        bucket = 3
+        values = rng.uniform(bucket / d, (bucket + 1) / d, 400_000)
+        reports = sw.privatize(values, rng=rng)
+        counts = sw.bucketize_reports(reports, d)
+        np.testing.assert_allclose(counts / counts.sum(), m[:, bucket], atol=0.004)
+
+    def test_symmetry_of_mirrored_buckets(self):
+        """The SW density is symmetric, so bucket i and d-1-i mirror."""
+        sw = SquareWave(1.0)
+        m = sw_transition_matrix((sw.p, sw.q), sw.b, 16, 16)
+        np.testing.assert_allclose(m, m[::-1, ::-1], atol=1e-12)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            sw_transition_matrix((1.0, 0.5), 0.0, 8, 8)
+
+
+class TestDiscreteSWTransitionMatrix:
+    def test_shape(self):
+        m = discrete_sw_transition_matrix(0.1, 0.01, b=3, d=10)
+        assert m.shape == (16, 10)
+
+    def test_band_structure(self):
+        p, q, b, d = 0.2, 0.05, 2, 6
+        m = discrete_sw_transition_matrix(p, q, b, d)
+        for i in range(d):
+            near = np.arange(i, i + 2 * b + 1)
+            assert (m[near, i] == p).all()
+            far = np.setdiff1d(np.arange(d + 2 * b), near)
+            assert (m[far, i] == q).all()
+
+    def test_columns_sum_to_one_with_mechanism_params(self):
+        eps, d = 1.0, 32
+        e = math.exp(eps)
+        b = 4
+        denom = (2 * b + 1) * e + d - 1
+        m = discrete_sw_transition_matrix(e / denom, 1 / denom, b, d)
+        np.testing.assert_allclose(m.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_b_zero_is_grr_like(self):
+        m = discrete_sw_transition_matrix(0.5, 0.125, b=0, d=5)
+        assert m.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(m), 0.5)

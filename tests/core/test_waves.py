@@ -1,0 +1,142 @@
+"""Unit, statistical, and privacy tests for the smooth wave shapes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.general_wave import GeneralWave
+from repro.core.pipeline import WaveEstimator
+from repro.core.waves import (
+    ALL_WAVE_SHAPES,
+    CosineWave,
+    EpanechnikovWave,
+    make_wave,
+)
+from repro.privacy.audit import audit_continuous_mechanism
+
+SMOOTH_CLASSES = (CosineWave, EpanechnikovWave)
+
+
+class TestMakeWave:
+    def test_all_shapes_constructible(self):
+        for shape in ALL_WAVE_SHAPES:
+            mech = make_wave(shape, 1.0)
+            assert hasattr(mech, "privatize")
+            assert hasattr(mech, "transition_matrix")
+
+    def test_trapezoid_family_routed(self):
+        assert isinstance(make_wave("square", 1.0), GeneralWave)
+        assert isinstance(make_wave("triangle", 1.0), GeneralWave)
+
+    def test_smooth_shapes_routed(self):
+        assert isinstance(make_wave("cosine", 1.0), CosineWave)
+        assert isinstance(make_wave("epanechnikov", 1.0), EpanechnikovWave)
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown wave shape"):
+            make_wave("sawtooth", 1.0)
+
+
+class TestSmoothWaveParameters:
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_peak_is_e_eps_q(self, cls):
+        wave = cls(1.3)
+        assert wave.peak / wave.q == pytest.approx(math.exp(1.3))
+
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_bump_mass_identity(self, cls):
+        wave = cls(1.0)
+        assert wave.bump_mass == pytest.approx(1 - (2 * wave.b + 1) * wave.q)
+
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_pdf_integrates_to_one(self, cls):
+        wave = cls(1.0, b=0.25)
+        grid = np.linspace(wave.output_low, wave.output_high, 400_001)
+        assert np.trapezoid(wave.pdf(0.4, grid), grid) == pytest.approx(1.0, abs=1e-5)
+
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_cdf_matches_density(self, cls):
+        wave = cls(1.0, b=0.2)
+        grid = np.linspace(-wave.b, wave.b, 50_001)
+        densities = wave.bump_density(grid)
+        numeric = np.concatenate(
+            [[0.0], np.cumsum((densities[1:] + densities[:-1]) / 2 * np.diff(grid))]
+        )
+        np.testing.assert_allclose(wave.bump_cdf(grid), numeric, atol=1e-6)
+
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_cdf_endpoints(self, cls):
+        wave = cls(1.0)
+        assert wave.bump_cdf(np.array([-wave.b]))[0] == pytest.approx(0.0)
+        assert wave.bump_cdf(np.array([wave.b]))[0] == pytest.approx(wave.bump_mass)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            CosineWave(1.0, b=0.7)
+
+
+class TestSmoothWaveSampling:
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_empirical_density_matches_pdf(self, cls, rng):
+        wave = cls(1.0)
+        v = 0.5
+        reports = wave.privatize(np.full(400_000, v), rng=rng)
+        counts, edges = np.histogram(
+            reports, bins=60, range=(wave.output_low, wave.output_high), density=True
+        )
+        centers = (edges[:-1] + edges[1:]) / 2
+        np.testing.assert_allclose(counts, wave.pdf(v, centers), atol=0.06)
+
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_reports_in_domain(self, cls, rng):
+        wave = cls(1.0)
+        reports = wave.privatize(rng.random(10_000), rng=rng)
+        assert reports.min() >= wave.output_low
+        assert reports.max() <= wave.output_high
+
+
+class TestSmoothWavePrivacy:
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_ldp(self, cls, epsilon):
+        result = audit_continuous_mechanism(cls(epsilon))
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(epsilon), rel=1e-6)
+
+    @given(st.floats(0.2, 3.0), st.floats(0.05, 0.5))
+    def test_ldp_property_cosine(self, epsilon, b):
+        result = audit_continuous_mechanism(
+            CosineWave(epsilon, b=b), input_grid=9, output_grid=81
+        )
+        assert result.satisfied
+
+
+class TestSmoothWaveMatrix:
+    @pytest.mark.parametrize("cls", SMOOTH_CLASSES)
+    def test_columns_sum_to_one(self, cls):
+        m = cls(1.0).transition_matrix(24, 24)
+        np.testing.assert_allclose(m.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_matrix_matches_monte_carlo(self, rng):
+        wave = CosineWave(1.0)
+        d = 8
+        m = wave.transition_matrix(d, d)
+        bucket = 2
+        values = rng.uniform(bucket / d, (bucket + 1) / d, 300_000)
+        counts = wave.bucketize_reports(wave.privatize(values, rng=rng), d)
+        np.testing.assert_allclose(counts / counts.sum(), m[:, bucket], atol=0.005)
+
+
+class TestSmoothWaveReconstruction:
+    @pytest.mark.parametrize("shape", ("cosine", "epanechnikov"))
+    def test_pipeline_end_to_end(self, shape, beta_values, rng):
+        estimator = WaveEstimator(make_wave(shape, 1.0), d=64)
+        out = estimator.fit(beta_values, rng=rng)
+        assert out.sum() == pytest.approx(1.0)
+        from repro.metrics.distances import wasserstein_distance
+        from tests.conftest import true_histogram
+
+        assert wasserstein_distance(true_histogram(beta_values, 64), out) < 0.05

@@ -1,0 +1,53 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+
+
+def make_dataset(values=None, bins=8):
+    if values is None:
+        values = np.linspace(0.0, 1.0, 100)
+    return Dataset(name="test", values=values, default_bins=bins)
+
+
+class TestDataset:
+    def test_histogram_sums_to_one(self):
+        ds = make_dataset()
+        assert ds.histogram().sum() == pytest.approx(1.0)
+
+    def test_histogram_default_granularity(self):
+        assert make_dataset(bins=16).histogram().size == 16
+
+    def test_histogram_custom_granularity(self):
+        assert make_dataset().histogram(32).size == 32
+
+    def test_histogram_cached_identity(self):
+        ds = make_dataset()
+        assert ds.histogram(8) is ds.histogram(8)
+
+    def test_histogram_counts_correct(self):
+        ds = make_dataset(values=np.array([0.1, 0.1, 0.9]), bins=2)
+        np.testing.assert_allclose(ds.histogram(), [2 / 3, 1 / 3])
+
+    def test_n(self):
+        assert make_dataset().n == 100
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_dataset(values=np.array([0.5, 1.5]))
+
+    def test_subsample_size(self):
+        sub = make_dataset().subsample(10, rng=0)
+        assert sub.n == 10
+        assert sub.default_bins == 8
+
+    def test_subsample_values_from_parent(self):
+        ds = make_dataset()
+        sub = ds.subsample(20, rng=0)
+        assert np.isin(sub.values, ds.values).all()
+
+    def test_subsample_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            make_dataset().subsample(101)

@@ -1,0 +1,128 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    beta_dataset,
+    income_dataset,
+    load_dataset,
+    retirement_dataset,
+    spiky_mixture,
+    taxi_dataset,
+    truncated_lognormal,
+    truncated_normal,
+)
+from repro.datasets.registry import DATASET_NAMES, PAPER_SIZES
+
+SMALL_N = 5_000
+
+
+class TestBuildingBlocks:
+    def test_truncated_normal_respects_bounds(self, rng):
+        out = truncated_normal(1000, mean=0.5, std=2.0, low=0.0, high=1.0, rng=rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.size == 1000
+
+    def test_truncated_normal_rejects_bad_std(self):
+        with pytest.raises(ValueError):
+            truncated_normal(10, 0.0, -1.0, 0.0, 1.0)
+
+    def test_truncated_lognormal_bounds(self, rng):
+        out = truncated_lognormal(1000, mu=0.0, sigma=1.0, high=3.0, rng=rng)
+        assert out.min() >= 0.0 and out.max() <= 3.0
+
+    def test_spiky_mixture_hits_spikes(self, rng):
+        body = rng.random(1000)
+        out = spiky_mixture(
+            1000,
+            body=body,
+            spike_positions=np.array([0.5]),
+            spike_weights=np.array([1.0]),
+            spike_fraction=0.5,
+            rng=rng,
+        )
+        frac_at_spike = (out == 0.5).mean()
+        assert 0.3 < frac_at_spike < 0.7
+
+    def test_spiky_mixture_zero_fraction_is_body(self, rng):
+        body = rng.random(100)
+        out = spiky_mixture(
+            100, body, np.array([0.5]), np.array([1.0]), 0.0, rng=rng
+        )
+        np.testing.assert_array_equal(out, body[:100])
+
+    def test_spiky_mixture_validates_fraction(self, rng):
+        with pytest.raises(ValueError):
+            spiky_mixture(10, rng.random(10), np.array([0.5]), np.array([1.0]), 1.5)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_values_in_unit_interval(self, name):
+        ds = load_dataset(name, n=SMALL_N, rng=0)
+        assert ds.values.min() >= 0.0 and ds.values.max() <= 1.0
+        assert ds.n == SMALL_N
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_with_seed(self, name):
+        a = load_dataset(name, n=1000, rng=5).values
+        b = load_dataset(name, n=1000, rng=5).values
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_default_bins_match_paper(self, name):
+        ds = load_dataset(name, n=1000, rng=0)
+        assert ds.default_bins == (256 if name == "beta" else 1024)
+
+    def test_paper_sizes_recorded(self):
+        assert PAPER_SIZES["beta"] == 100_000
+        assert PAPER_SIZES["taxi"] == 2_189_968
+        assert PAPER_SIZES["income"] == 2_308_374
+        assert PAPER_SIZES["retirement"] == 178_012
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("beta", n=0)
+
+
+class TestShapeFeatures:
+    """The substitutes must reproduce the shape features the paper relies on."""
+
+    def test_beta_mean_matches_theory(self):
+        ds = beta_dataset(n=50_000, rng=1)
+        assert ds.values.mean() == pytest.approx(5 / 7, abs=0.01)
+
+    def test_taxi_is_multimodal(self):
+        ds = taxi_dataset(n=50_000, rng=1)
+        hist = ds.histogram(48)  # half-hour resolution
+        # Overnight trough (around 4am = bucket 8) well below evening peak.
+        trough = hist[6:10].mean()
+        peak = hist.max()
+        assert peak > 4 * trough
+
+    def test_income_is_spiky(self):
+        ds = income_dataset(n=100_000, rng=1)
+        hist = ds.histogram(1024)
+        positive = hist[hist > 0]
+        # Spikes at round incomes tower over the local body.
+        assert hist.max() / np.median(positive) > 5.0
+
+    def test_income_right_skewed(self):
+        ds = income_dataset(n=50_000, rng=1)
+        assert np.median(ds.values) < ds.values.mean()
+
+    def test_retirement_zero_spike(self):
+        ds = retirement_dataset(n=50_000, rng=1)
+        hist = ds.histogram(1024)
+        # Mass in the first ~$500 band dominated by zero-contribution users.
+        assert hist[:9].sum() > 0.1
+
+    def test_retirement_right_tail_decays(self):
+        ds = retirement_dataset(n=50_000, rng=1)
+        hist = ds.histogram(64)
+        assert hist[-8:].sum() < 0.05

@@ -1,0 +1,105 @@
+"""Smoke tests for the figure generators (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+TINY = dict(n=3000, repeats=1, seed=0)
+
+
+class TestFig1:
+    def test_summary_rows(self):
+        rows = figures.fig1_dataset_summary(n=2000, datasets=("beta", "income"))
+        datasets = {r.dataset for r in rows}
+        assert datasets == {"beta", "income"}
+        metrics = {r.metric for r in rows}
+        assert "spikiness" in metrics and "peak-mass" in metrics
+
+    def test_income_spikier_than_beta(self):
+        rows = figures.fig1_dataset_summary(n=50_000, datasets=("beta", "income"))
+        spiky = {r.dataset: r.mean for r in rows if r.metric == "spikiness"}
+        assert spiky["income"] > spiky["beta"]
+
+
+class TestFig2Through4:
+    def test_fig2_rows(self):
+        rows = figures.fig2_distribution_distances(
+            datasets=("beta",), epsilons=(1.0,), **TINY
+        )
+        methods = {r.method for r in rows}
+        assert "sw-ems" in methods and "hh-admm" in methods
+        assert {r.metric for r in rows} == {"w1", "ks"}
+
+    def test_fig3_includes_hierarchies(self):
+        rows = figures.fig3_range_queries(datasets=("beta",), epsilons=(1.0,), **TINY)
+        methods = {r.method for r in rows}
+        assert "hh" in methods and "haar-hrr" in methods
+        assert {r.metric for r in rows} == {"range-0.1", "range-0.4"}
+
+    def test_fig4_includes_scalar_methods(self):
+        rows = figures.fig4_statistics(datasets=("beta",), epsilons=(1.0,), **TINY)
+        methods = {r.method for r in rows}
+        assert "sr" in methods and "pm" in methods
+        sr_metrics = {r.metric for r in rows if r.method == "sr"}
+        assert sr_metrics == {"mean", "variance"}
+
+
+class TestFig5Through7:
+    def test_fig5_shapes(self):
+        rows = figures.fig5_wave_shapes(
+            datasets=("beta",),
+            b_values=(0.2,),
+            shapes=("square", "triangle"),
+            n=3000,
+            d=32,
+            repeats=1,
+        )
+        assert {r.method for r in rows} == {"square", "triangle"}
+        assert all(r.metric == "w1" for r in rows)
+
+    def test_fig6_marks_b_star(self):
+        rows = figures.fig6_bandwidth(
+            epsilons=(1.0,), b_values=(0.1, 0.3), n=3000, d=32, repeats=1
+        )
+        assert any(r.extra.get("is_b_star") for r in rows)
+        # The b* row was injected into the grid.
+        assert len(rows) == 3
+
+    def test_fig7_granularities(self):
+        rows = figures.fig7_granularity(
+            datasets=("beta",),
+            epsilons=(1.0,),
+            granularities=(32, 64),
+            n=3000,
+            repeats=1,
+        )
+        assert {r.method for r in rows} == {"sw-ems-d32", "sw-ems-d64"}
+
+    def test_fig7_rejects_unalignable_grid(self):
+        with pytest.raises(ValueError, match="coarsening"):
+            figures.fig7_granularity(
+                datasets=("beta",),
+                epsilons=(1.0,),
+                granularities=(32, 48),
+                n=3000,
+                repeats=1,
+            )
+
+
+class TestTable2:
+    def test_matrix_complete(self):
+        matrix = figures.table2_method_metric_matrix()
+        methods = {m for m, _, _ in matrix}
+        assert len(methods) == 10
+        # Every method x metric combination present.
+        assert len(matrix) == 10 * 7
+
+    def test_spot_checks(self):
+        lookup = {(m, metric): ok for m, metric, ok in figures.table2_method_metric_matrix()}
+        assert lookup[("sw-ems", "w1")]
+        assert not lookup[("hh", "w1")]
+        assert lookup[("hh", "range-0.1")]
+        assert not lookup[("pm", "quantile")]
+        assert lookup[("pm", "mean")]

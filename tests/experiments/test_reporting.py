@@ -1,0 +1,58 @@
+"""Unit tests for result rendering and CSV persistence."""
+
+import csv
+
+from repro.experiments.reporting import format_series_table, group_rows, rows_to_csv
+from repro.experiments.runner import ResultRow
+
+
+def make_rows():
+    return [
+        ResultRow("beta", "sw-ems", 1.0, "w1", 0.01, 0.001, 3),
+        ResultRow("beta", "sw-ems", 2.0, "w1", 0.005, 0.0005, 3),
+        ResultRow("beta", "cfo-16", 1.0, "w1", 0.02, 0.002, 3),
+        ResultRow("taxi", "sw-ems", 1.0, "ks", 0.03, 0.003, 3),
+    ]
+
+
+class TestGroupRows:
+    def test_grouping_keys(self):
+        grouped = group_rows(make_rows())
+        assert set(grouped) == {("beta", "w1"), ("taxi", "ks")}
+
+    def test_cell_lookup(self):
+        grouped = group_rows(make_rows())
+        assert grouped[("beta", "w1")][("sw-ems", 2.0)].mean == 0.005
+
+
+class TestFormatSeriesTable:
+    def test_contains_methods_and_epsilons(self):
+        text = format_series_table(make_rows(), title="Test")
+        assert "Test" in text
+        assert "sw-ems" in text and "cfo-16" in text
+        assert "eps=1" in text and "eps=2" in text
+
+    def test_one_section_per_dataset_metric(self):
+        text = format_series_table(make_rows())
+        assert "[beta] metric=w1" in text
+        assert "[taxi] metric=ks" in text
+
+    def test_missing_cells_blank(self):
+        text = format_series_table(make_rows())
+        # cfo-16 has no eps=2 value; the row still renders.
+        line = next(l for l in text.splitlines() if l.startswith("cfo-16"))
+        assert "0.02" in line
+
+
+class TestRowsToCSV:
+    def test_roundtrip(self, tmp_path):
+        path = rows_to_csv(make_rows(), tmp_path / "out.csv")
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        assert len(records) == 4
+        assert records[0]["dataset"] == "beta"
+        assert float(records[0]["mean"]) == 0.01
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = rows_to_csv(make_rows(), tmp_path / "a" / "b" / "out.csv")
+        assert path.exists()

@@ -1,0 +1,144 @@
+"""Unit tests for the sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.experiments.runner import (
+    ResultRow,
+    SweepConfig,
+    evaluate_histogram,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    values = np.random.default_rng(0).beta(5, 2, 4000)
+    return Dataset(name="beta", values=values, default_bins=32)
+
+
+class TestSweepConfig:
+    def test_valid(self):
+        SweepConfig(
+            dataset="beta",
+            methods=("sw-ems",),
+            epsilons=(1.0,),
+            metrics=("w1",),
+        )
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            SweepConfig(
+                dataset="beta",
+                methods=("quantum",),
+                epsilons=(1.0,),
+                metrics=("w1",),
+            )
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            SweepConfig(
+                dataset="beta",
+                methods=("sw-ems",),
+                epsilons=(1.0,),
+                metrics=("w1",),
+                repeats=0,
+            )
+
+
+class TestEvaluateHistogram:
+    def test_all_metrics(self, rng):
+        true = rng.dirichlet(np.ones(32))
+        est = rng.dirichlet(np.ones(32))
+        queries = {0.1: np.array([0.1, 0.5]), 0.4: np.array([0.2])}
+        out = evaluate_histogram(
+            true,
+            est,
+            ("w1", "ks", "range-0.1", "range-0.4", "mean", "variance", "quantile"),
+            queries,
+        )
+        assert set(out) == {
+            "w1",
+            "ks",
+            "range-0.1",
+            "range-0.4",
+            "mean",
+            "variance",
+            "quantile",
+        }
+        assert all(np.isfinite(v) for v in out.values())
+
+    def test_identical_histograms_zero_errors(self, rng):
+        x = rng.dirichlet(np.ones(16))
+        out = evaluate_histogram(x, x, ("w1", "ks", "mean"), {})
+        assert all(v == pytest.approx(0.0) for v in out.values())
+
+    def test_unknown_metric_rejected(self, rng):
+        x = rng.dirichlet(np.ones(4))
+        with pytest.raises(ValueError, match="unknown metric"):
+            evaluate_histogram(x, x, ("l7",), {})
+
+
+class TestRunSweep:
+    def test_rows_structure(self, tiny_dataset):
+        config = SweepConfig(
+            dataset="beta",
+            methods=("sw-ems", "cfo-16"),
+            epsilons=(1.0, 2.0),
+            metrics=("w1",),
+            repeats=2,
+            seed=3,
+        )
+        rows = run_sweep(config, dataset=tiny_dataset)
+        assert len(rows) == 4  # 2 methods x 2 epsilons x 1 metric
+        assert all(isinstance(r, ResultRow) for r in rows)
+        assert all(r.repeats == 2 for r in rows)
+        assert all(np.isfinite(r.mean) and np.isfinite(r.std) for r in rows)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        config = SweepConfig(
+            dataset="beta",
+            methods=("sw-ems",),
+            epsilons=(1.0,),
+            metrics=("w1",),
+            repeats=2,
+            seed=11,
+        )
+        a = run_sweep(config, dataset=tiny_dataset)
+        b = run_sweep(config, dataset=tiny_dataset)
+        assert a[0].mean == b[0].mean
+
+    def test_scalar_methods_only_get_supported_metrics(self, tiny_dataset):
+        config = SweepConfig(
+            dataset="beta",
+            methods=("pm",),
+            epsilons=(1.0,),
+            metrics=("w1", "mean"),
+            repeats=1,
+        )
+        rows = run_sweep(config, dataset=tiny_dataset)
+        assert {r.metric for r in rows} == {"mean"}
+
+    def test_leaf_signed_methods_range_only(self, tiny_dataset):
+        config = SweepConfig(
+            dataset="beta",
+            methods=("haar-hrr",),
+            epsilons=(1.0,),
+            metrics=("w1", "range-0.1"),
+            repeats=1,
+            d=32,
+        )
+        rows = run_sweep(config, dataset=tiny_dataset)
+        assert {r.metric for r in rows} == {"range-0.1"}
+
+    def test_variance_metric_via_two_phase(self, tiny_dataset):
+        config = SweepConfig(
+            dataset="beta",
+            methods=("sr",),
+            epsilons=(2.0,),
+            metrics=("mean", "variance"),
+            repeats=1,
+        )
+        rows = run_sweep(config, dataset=tiny_dataset)
+        assert {r.metric for r in rows} == {"mean", "variance"}

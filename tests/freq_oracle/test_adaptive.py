@@ -1,0 +1,50 @@
+"""Unit tests for the GRR/OLH variance-based choice."""
+
+import math
+
+import pytest
+
+from repro.freq_oracle.adaptive import best_oracle_name, choose_oracle
+from repro.freq_oracle.grr import GRR
+from repro.freq_oracle.olh import OLH
+
+
+class TestBestOracleName:
+    def test_small_domain_grr(self):
+        assert best_oracle_name(1.0, 4) == "grr"
+
+    def test_large_domain_olh(self):
+        assert best_oracle_name(1.0, 1024) == "olh"
+
+    def test_threshold_exact(self):
+        # GRR wins iff d - 2 < 3 e^eps.
+        eps = 1.0
+        boundary = int(3 * math.exp(eps)) + 2  # first d where OLH wins or ties
+        assert best_oracle_name(eps, boundary - 1) == "grr"
+        assert best_oracle_name(eps, boundary + 1) == "olh"
+
+    def test_higher_epsilon_extends_grr(self):
+        d = 50
+        assert best_oracle_name(1.0, d) == "olh"
+        assert best_oracle_name(3.0, d) == "grr"
+
+
+class TestChooseOracle:
+    def test_returns_grr_instance(self):
+        assert isinstance(choose_oracle(1.0, 4), GRR)
+
+    def test_returns_olh_instance(self):
+        assert isinstance(choose_oracle(1.0, 1024), OLH)
+
+    def test_choice_minimizes_variance(self):
+        for eps in (0.5, 1.0, 2.0):
+            for d in (4, 16, 64, 256):
+                chosen = choose_oracle(eps, d)
+                alt = GRR(eps, d) if isinstance(chosen, OLH) else OLH(eps, d)
+                assert chosen.estimate_variance <= alt.estimate_variance + 1e-12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            choose_oracle(-1.0, 4)
+        with pytest.raises(ValueError):
+            choose_oracle(1.0, 1)

@@ -1,0 +1,98 @@
+"""Unit and statistical tests for Generalized Randomized Response."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.freq_oracle.grr import GRR
+from repro.privacy.audit import audit_matrix
+
+
+class TestGRRParameters:
+    def test_probabilities(self):
+        grr = GRR(math.log(3.0), 4)
+        assert grr.p == pytest.approx(3.0 / 6.0)
+        assert grr.q == pytest.approx(1.0 / 6.0)
+
+    def test_p_q_ratio_is_e_eps(self):
+        grr = GRR(1.7, 10)
+        assert grr.p / grr.q == pytest.approx(math.exp(1.7))
+
+    def test_total_probability(self):
+        grr = GRR(1.0, 5)
+        assert grr.p + (grr.d - 1) * grr.q == pytest.approx(1.0)
+
+    def test_variance_formula(self):
+        grr = GRR(1.0, 10)
+        e = math.exp(1.0)
+        assert grr.estimate_variance == pytest.approx((10 - 2 + e) / (e - 1) ** 2)
+
+
+class TestGRRPrivatize:
+    def test_reports_in_domain(self, rng):
+        grr = GRR(1.0, 6)
+        reports = grr.privatize(rng.integers(0, 6, 1000), rng=rng)
+        assert reports.min() >= 0 and reports.max() < 6
+
+    def test_keep_rate_matches_p(self, rng):
+        grr = GRR(2.0, 4)
+        values = np.full(60_000, 2)
+        reports = grr.privatize(values, rng=rng)
+        assert (reports == 2).mean() == pytest.approx(grr.p, abs=0.01)
+
+    def test_other_values_uniform(self, rng):
+        grr = GRR(1.0, 4)
+        values = np.zeros(80_000, dtype=np.int64)
+        reports = grr.privatize(values, rng=rng)
+        others = np.bincount(reports[reports != 0], minlength=4)[1:]
+        np.testing.assert_allclose(others / others.sum(), 1 / 3, atol=0.02)
+
+    def test_rejects_out_of_domain(self, rng):
+        with pytest.raises(ValueError):
+            GRR(1.0, 4).privatize(np.array([4]), rng=rng)
+
+    def test_rejects_fractional(self, rng):
+        with pytest.raises(ValueError):
+            GRR(1.0, 4).privatize(np.array([0.5]), rng=rng)
+
+
+class TestGRRAggregate:
+    def test_unbiased(self, rng):
+        grr = GRR(1.0, 8)
+        truth = np.array([0.5, 0.2, 0.1, 0.05, 0.05, 0.05, 0.03, 0.02])
+        values = rng.choice(8, size=100_000, p=truth)
+        est = grr.estimate_from_values(values, rng=rng)
+        empirical = np.bincount(values, minlength=8) / values.size
+        np.testing.assert_allclose(est, empirical, atol=0.02)
+
+    def test_estimates_sum_near_one(self, rng):
+        grr = GRR(1.0, 8)
+        est = grr.estimate_from_values(rng.integers(0, 8, 50_000), rng=rng)
+        assert est.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_empirical_variance_matches_formula(self):
+        grr = GRR(1.0, 16)
+        n = 20_000
+        values = np.zeros(n, dtype=np.int64)
+        estimates = [
+            grr.estimate_from_values(values, rng=np.random.default_rng(s))[5]
+            for s in range(60)
+        ]
+        empirical = np.var(estimates)
+        assert empirical == pytest.approx(grr.estimate_variance / n, rel=0.6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GRR(1.0, 4).aggregate(np.array([], dtype=np.int64))
+
+
+class TestGRRPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 3.0])
+    def test_matrix_satisfies_ldp(self, epsilon):
+        grr = GRR(epsilon, 6)
+        matrix = np.full((6, 6), grr.q)
+        np.fill_diagonal(matrix, grr.p)
+        result = audit_matrix(matrix, epsilon)
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(epsilon))

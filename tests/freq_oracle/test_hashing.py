@@ -1,0 +1,66 @@
+"""Unit tests for the universal hash family used by OLH."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.freq_oracle.hashing import PRIME, evaluate_hash, sample_hash_params
+
+
+class TestSampleHashParams:
+    def test_ranges(self, rng):
+        a, b = sample_hash_params(10_000, rng=rng)
+        assert a.min() >= 1 and a.max() < PRIME
+        assert b.min() >= 0 and b.max() < PRIME
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sample_hash_params(0)
+
+
+class TestEvaluateHash:
+    def test_output_range(self, rng):
+        a, b = sample_hash_params(100, rng=rng)
+        out = evaluate_hash(a, b, np.arange(100) % 7, g=4)
+        assert out.min() >= 0 and out.max() < 4
+
+    def test_deterministic(self):
+        a = np.array([12345])
+        b = np.array([678])
+        v = np.array([42])
+        assert evaluate_hash(a, b, v, 8) == evaluate_hash(a, b, v, 8)
+
+    def test_broadcasting_matrix(self, rng):
+        a, b = sample_hash_params(5, rng=rng)
+        domain = np.arange(10)[None, :]
+        out = evaluate_hash(a[:, None], b[:, None], domain, g=3)
+        assert out.shape == (5, 10)
+
+    def test_roughly_uniform_over_g(self, rng):
+        """Pairwise-independent family: a fixed input hashes uniformly over
+        {0..g-1} across random (a, b)."""
+        a, b = sample_hash_params(40_000, rng=rng)
+        out = evaluate_hash(a, b, np.full(40_000, 17), g=4)
+        freqs = np.bincount(out, minlength=4) / out.size
+        np.testing.assert_allclose(freqs, 0.25, atol=0.01)
+
+    def test_no_overflow_for_large_inputs(self):
+        a = np.array([PRIME - 1], dtype=np.int64)
+        b = np.array([PRIME - 1], dtype=np.int64)
+        out = evaluate_hash(a, b, np.array([2**20], dtype=np.int64), g=16)
+        assert 0 <= out[0] < 16
+
+    def test_rejects_small_g(self):
+        with pytest.raises(ValueError):
+            evaluate_hash(np.array([1]), np.array([0]), np.array([0]), g=1)
+
+    @given(st.integers(0, 2**16), st.integers(2, 64))
+    def test_collision_rate_pairwise(self, value, g):
+        """Two distinct values collide with probability ~ 1/g."""
+        gen = np.random.default_rng(0)
+        a, b = sample_hash_params(5000, rng=gen)
+        h1 = evaluate_hash(a, b, np.full(5000, value), g)
+        h2 = evaluate_hash(a, b, np.full(5000, value + 1), g)
+        rate = (h1 == h2).mean()
+        assert rate == pytest.approx(1.0 / g, abs=4.0 * np.sqrt(1.0 / g / 5000) + 0.01)

@@ -1,0 +1,100 @@
+"""Unit and statistical tests for Hadamard Randomized Response and the FWHT."""
+
+import numpy as np
+import pytest
+
+from repro.freq_oracle.hrr import HRR, fwht, next_power_of_two
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("d,expected", [(1, 1), (2, 2), (3, 4), (8, 8), (9, 16), (1000, 1024)])
+    def test_values(self, d, expected):
+        assert next_power_of_two(d) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestFWHT:
+    def test_matches_explicit_hadamard(self, rng):
+        m = 16
+        h = np.array(
+            [[(-1) ** bin(i & j).count("1") for j in range(m)] for i in range(m)],
+            dtype=float,
+        )
+        vec = rng.normal(size=m)
+        np.testing.assert_allclose(fwht(vec), h @ vec, atol=1e-10)
+
+    def test_involution_up_to_scale(self, rng):
+        vec = rng.normal(size=32)
+        np.testing.assert_allclose(fwht(fwht(vec)) / 32, vec, atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fwht(np.ones(6))
+
+    def test_does_not_mutate_input(self):
+        vec = np.ones(4)
+        fwht(vec)
+        np.testing.assert_array_equal(vec, np.ones(4))
+
+
+class TestHRR:
+    def test_pads_to_power_of_two(self):
+        assert HRR(1.0, 10).m == 16
+
+    def test_unbiased_unsigned(self, rng):
+        hrr = HRR(1.0, 16)
+        truth = np.zeros(16)
+        truth[2], truth[9] = 0.7, 0.3
+        values = rng.choice(16, size=100_000, p=truth)
+        est = hrr.estimate_from_values(values, rng=rng)
+        empirical = np.bincount(values, minlength=16) / values.size
+        np.testing.assert_allclose(est, empirical, atol=0.03)
+
+    def test_unbiased_signed(self, rng):
+        """Signed one-hot contributions recover the signed frequency vector,
+        the property HaarHRR depends on."""
+        hrr = HRR(2.0, 8)
+        n = 120_000
+        values = rng.integers(0, 8, n)
+        signs = np.where(rng.random(n) < 0.5, 1, -1)
+        reports = hrr.privatize(values, rng=rng, signs=signs)
+        est = hrr.aggregate(reports)
+        truth = np.zeros(8)
+        np.add.at(truth, values, signs / n)
+        np.testing.assert_allclose(est, truth, atol=0.03)
+
+    def test_degenerate_domain_size_one(self, rng):
+        """d=1: pure sign estimation (the top Haar layer)."""
+        hrr = HRR(2.0, 1)
+        n = 50_000
+        signs = np.where(rng.random(n) < 0.8, 1, -1)
+        reports = hrr.privatize(np.zeros(n, dtype=np.int64), rng=rng, signs=signs)
+        est = hrr.aggregate(reports)
+        assert est[0] == pytest.approx(signs.mean(), abs=0.03)
+
+    def test_bits_are_plus_minus_one(self, rng):
+        hrr = HRR(1.0, 8)
+        reports = hrr.privatize(rng.integers(0, 8, 100), rng=rng)
+        assert set(np.unique(reports.bit)) <= {-1, 1}
+
+    def test_rejects_bad_signs(self, rng):
+        hrr = HRR(1.0, 8)
+        with pytest.raises(ValueError, match="signs"):
+            hrr.privatize(np.array([0, 1]), rng=rng, signs=np.array([2, 1]))
+
+    def test_rejects_mismatched_signs(self, rng):
+        hrr = HRR(1.0, 8)
+        with pytest.raises(ValueError, match="shape"):
+            hrr.privatize(np.array([0, 1]), rng=rng, signs=np.array([1]))
+
+    def test_flip_rate_matches_p(self, rng):
+        hrr = HRR(1.0, 2)
+        n = 60_000
+        values = np.zeros(n, dtype=np.int64)
+        reports = hrr.privatize(values, rng=rng)
+        # For value 0, H[j, 0] = +1 for every row, so the unperturbed bit is
+        # always +1; the observed +1 rate is exactly p.
+        assert (reports.bit == 1).mean() == pytest.approx(hrr.p, abs=0.01)

@@ -1,0 +1,87 @@
+"""Unit and statistical tests for Optimized Local Hashing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.freq_oracle.olh import OLH, OLHReports
+
+
+class TestOLHParameters:
+    def test_default_g(self):
+        olh = OLH(1.0, 100)
+        assert olh.g == int(round(math.exp(1.0))) + 1
+
+    def test_custom_g(self):
+        assert OLH(1.0, 100, g=5).g == 5
+
+    def test_g_at_least_two(self):
+        with pytest.raises(ValueError):
+            OLH(1.0, 100, g=1)
+
+    def test_variance_independent_of_d(self):
+        assert OLH(1.0, 10).estimate_variance == OLH(1.0, 10_000).estimate_variance
+
+    def test_variance_formula(self):
+        e = math.exp(2.0)
+        assert OLH(2.0, 50).estimate_variance == pytest.approx(4 * e / (e - 1) ** 2)
+
+    def test_variance_beats_grr_on_large_domain(self):
+        from repro.freq_oracle.grr import GRR
+
+        assert OLH(1.0, 1000).estimate_variance < GRR(1.0, 1000).estimate_variance
+
+
+class TestOLHPrivatize:
+    def test_report_structure(self, rng):
+        olh = OLH(1.0, 50)
+        reports = olh.privatize(rng.integers(0, 50, 100), rng=rng)
+        assert isinstance(reports, OLHReports)
+        assert reports.n == 100
+        assert reports.y.min() >= 0 and reports.y.max() < olh.g
+
+    def test_distinct_hash_functions_per_user(self, rng):
+        olh = OLH(1.0, 50)
+        reports = olh.privatize(rng.integers(0, 50, 1000), rng=rng)
+        assert np.unique(reports.a).size > 900  # collisions are rare
+
+
+class TestOLHAggregate:
+    def test_unbiased(self, rng):
+        olh = OLH(1.0, 32)
+        truth = np.zeros(32)
+        truth[3], truth[17], truth[31] = 0.6, 0.3, 0.1
+        values = rng.choice(32, size=100_000, p=truth)
+        est = olh.estimate_from_values(values, rng=rng)
+        empirical = np.bincount(values, minlength=32) / values.size
+        np.testing.assert_allclose(est, empirical, atol=0.03)
+
+    def test_empirical_variance_matches_formula(self):
+        olh = OLH(1.0, 32)
+        n = 20_000
+        values = np.zeros(n, dtype=np.int64)
+        estimates = [
+            olh.estimate_from_values(values, rng=np.random.default_rng(s))[10]
+            for s in range(60)
+        ]
+        assert np.var(estimates) == pytest.approx(olh.estimate_variance / n, rel=0.6)
+
+    def test_chunked_aggregation_matches_small(self, rng):
+        """Chunked support counting must equal a direct dense computation."""
+        from repro.freq_oracle.hashing import evaluate_hash
+
+        olh = OLH(1.0, 20)
+        values = rng.integers(0, 20, 500)
+        reports = olh.privatize(values, rng=rng)
+        dense = (
+            evaluate_hash(
+                reports.a[:, None], reports.b[:, None], np.arange(20)[None, :], olh.g
+            )
+            == reports.y[:, None]
+        ).sum(axis=0)
+        np.testing.assert_array_equal(olh.support_counts(reports), dense)
+
+    def test_mismatched_report_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            OLHReports(a=np.zeros(3), b=np.zeros(3), y=np.zeros(2))

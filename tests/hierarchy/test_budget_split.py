@@ -1,0 +1,61 @@
+"""Tests for the budget-splitting HH variant and the paper's §4.2 claim."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.hh import (
+    HierarchicalHistogram,
+    collect_tree_estimates_budget_split,
+)
+from repro.hierarchy.tree import TreeLayout
+from tests.conftest import true_histogram
+
+
+class TestBudgetSplitCollection:
+    def test_shapes(self, rng):
+        t = TreeLayout(16, 4)
+        est, weights = collect_tree_estimates_budget_split(
+            t, 1.0, rng.integers(0, 16, 5000), rng=rng
+        )
+        assert est.shape == (t.total_nodes,)
+        assert est[0] == 1.0
+        assert (weights > 0).all()
+
+    def test_unbiased(self, rng):
+        t = TreeLayout(16, 4)
+        truth = np.random.default_rng(1).dirichlet(np.ones(16))
+        leaves = rng.choice(16, size=150_000, p=truth)
+        est, _ = collect_tree_estimates_budget_split(t, 2.0, leaves, rng=rng)
+        np.testing.assert_allclose(est[t.level_slice(2)], truth, atol=0.05)
+
+    def test_rejects_bad_leaves(self, rng):
+        t = TreeLayout(16, 4)
+        with pytest.raises(ValueError):
+            collect_tree_estimates_budget_split(t, 1.0, np.array([-1]), rng=rng)
+
+
+class TestSplitComparison:
+    def test_estimator_accepts_split_argument(self, beta_values, rng):
+        hh = HierarchicalHistogram(1.0, d=64, split="budget")
+        leaves = hh.fit(beta_values, rng=rng)
+        assert leaves.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_unknown_split(self):
+        with pytest.raises(ValueError, match="split"):
+            HierarchicalHistogram(1.0, d=64, split="time")
+
+    def test_population_split_beats_budget_split(self, beta_values):
+        """Paper Section 4.2: under LDP it is better to divide the
+        population than the privacy budget."""
+        truth = true_histogram(beta_values, 64)
+        pop_err, bud_err = [], []
+        for seed in range(4):
+            pop = HierarchicalHistogram(1.0, d=64, split="population").fit(
+                beta_values, rng=np.random.default_rng(seed)
+            )
+            bud = HierarchicalHistogram(1.0, d=64, split="budget").fit(
+                beta_values, rng=np.random.default_rng(100 + seed)
+            )
+            pop_err.append(np.abs(pop - truth).sum())
+            bud_err.append(np.abs(bud - truth).sum())
+        assert np.mean(pop_err) < np.mean(bud_err)

@@ -1,0 +1,127 @@
+"""Unit and property tests for consistency projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hierarchy.constrained import NullspaceProjector, consistency_projection
+from repro.hierarchy.tree import TreeLayout
+
+
+def consistent_vector(tree, leaves):
+    """Build the exact node vector implied by leaf frequencies."""
+    vec = np.empty(tree.total_nodes)
+    current = np.asarray(leaves, dtype=float)
+    for level in range(tree.height, -1, -1):
+        vec[tree.level_slice(level)] = current
+        if level:
+            current = current.reshape(-1, tree.branching).sum(axis=1)
+    return vec
+
+
+class TestNullspaceProjector:
+    def test_consistent_vector_unchanged(self):
+        t = TreeLayout(16, 4)
+        vec = consistent_vector(t, np.random.default_rng(0).dirichlet(np.ones(16)))
+        proj = NullspaceProjector(t)
+        np.testing.assert_allclose(proj.project(vec), vec, atol=1e-12)
+
+    def test_output_is_consistent(self, rng):
+        t = TreeLayout(16, 4)
+        proj = NullspaceProjector(t)
+        out = proj.project(rng.normal(size=t.total_nodes))
+        np.testing.assert_allclose(t.constraint_matrix() @ out, 0.0, atol=1e-10)
+
+    def test_idempotent(self, rng):
+        t = TreeLayout(64, 4)
+        proj = NullspaceProjector(t)
+        once = proj.project(rng.normal(size=t.total_nodes))
+        np.testing.assert_allclose(proj.project(once), once, atol=1e-10)
+
+    def test_is_orthogonal_projection(self, rng):
+        """v - P(v) must be orthogonal to the constraint nullspace."""
+        t = TreeLayout(16, 4)
+        proj = NullspaceProjector(t)
+        v = rng.normal(size=t.total_nodes)
+        residual = v - proj.project(v)
+        for _ in range(5):
+            w = proj.project(rng.normal(size=t.total_nodes))
+            assert abs(residual @ w) < 1e-8
+
+    def test_rejects_wrong_shape(self):
+        t = TreeLayout(16, 4)
+        with pytest.raises(ValueError):
+            NullspaceProjector(t).project(np.zeros(3))
+
+
+class TestConsistencyProjection:
+    def test_consistent_input_fixed_point(self):
+        t = TreeLayout(16, 4)
+        vec = consistent_vector(t, np.random.default_rng(1).dirichlet(np.ones(16)))
+        out = consistency_projection(t, vec)
+        np.testing.assert_allclose(out, vec, atol=1e-10)
+
+    def test_output_satisfies_constraints(self, rng):
+        t = TreeLayout(64, 4)
+        out = consistency_projection(t, rng.normal(size=t.total_nodes))
+        np.testing.assert_allclose(t.constraint_matrix() @ out, 0.0, atol=1e-9)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_without_root_constraint(self, rng):
+        t = TreeLayout(16, 4)
+        v = rng.normal(size=t.total_nodes)
+        out = consistency_projection(t, v, fix_root=False)
+        np.testing.assert_allclose(t.constraint_matrix() @ out, 0.0, atol=1e-9)
+
+    def test_weights_pull_toward_reliable_levels(self, rng):
+        """With enormous leaf weight (and no root pin), consistency is
+        restored by moving the *parents* onto the leaf sums, not vice
+        versa."""
+        t = TreeLayout(16, 4)
+        v = rng.normal(size=t.total_nodes) + 1.0
+        weights = np.ones(t.total_nodes)
+        weights[t.level_slice(2)] = 1e9  # leaves: very reliable
+        out = consistency_projection(t, v, weights=weights, fix_root=False)
+        leaf_slice = t.level_slice(2)
+        leaf_shift = np.abs(out[leaf_slice] - v[leaf_slice]).max()
+        parent_shift = np.abs(out[t.level_slice(1)] - v[t.level_slice(1)]).max()
+        assert leaf_shift < 1e-6
+        assert parent_shift > 0.1
+
+    def test_variance_reduction_on_unbiased_noise(self):
+        """Averaging across levels reduces leaf MSE versus raw estimates —
+        the reason hierarchical methods help at all."""
+        t = TreeLayout(64, 4)
+        truth = consistent_vector(
+            t, np.random.default_rng(3).dirichlet(np.ones(64))
+        )
+        gen = np.random.default_rng(4)
+        raw_mse, proj_mse = 0.0, 0.0
+        for _ in range(20):
+            noisy = truth + gen.normal(0, 0.02, truth.size)
+            noisy[0] = 1.0
+            out = consistency_projection(t, noisy)
+            leaf = t.level_slice(t.height)
+            raw_mse += ((noisy[leaf] - truth[leaf]) ** 2).sum()
+            proj_mse += ((out[leaf] - truth[leaf]) ** 2).sum()
+        assert proj_mse < raw_mse
+
+    def test_rejects_bad_weights(self, rng):
+        t = TreeLayout(16, 4)
+        v = rng.normal(size=t.total_nodes)
+        with pytest.raises(ValueError):
+            consistency_projection(t, v, weights=np.zeros(t.total_nodes))
+
+    @given(
+        hnp.arrays(
+            np.float64, 21, elements=st.floats(-2.0, 2.0)  # TreeLayout(16,4) size
+        )
+    )
+    def test_projection_never_increases_distance_to_consistent_points(self, v):
+        """Projections are non-expansive toward any feasible point."""
+        t = TreeLayout(16, 4)
+        feasible = consistent_vector(t, np.full(16, 1 / 16))
+        out = consistency_projection(t, v, fix_root=True)
+        assert np.linalg.norm(out - feasible) <= np.linalg.norm(v - feasible) + 1e-8

@@ -1,0 +1,94 @@
+"""Unit and statistical tests for HaarHRR."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.haar import HaarHRR
+from tests.conftest import true_histogram
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            HaarHRR(1.0, d=48)
+
+    def test_height(self):
+        assert HaarHRR(1.0, d=64).height == 6
+
+    def test_query_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HaarHRR(1.0, d=8).range_query(0.0, 1.0)
+
+
+class TestSynthesis:
+    def test_leaves_sum_to_one(self, beta_values, rng):
+        haar = HaarHRR(1.0, d=64)
+        leaves = haar.fit(beta_values, rng=rng)
+        assert leaves.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_detail_layer_count(self, beta_values, rng):
+        haar = HaarHRR(1.0, d=64)
+        haar.fit(beta_values, rng=rng)
+        assert len(haar.details_) == 6
+        assert [d.size for d in haar.details_] == [32, 16, 8, 4, 2, 1]
+
+    def test_exact_synthesis_with_true_details(self):
+        """The inverse cascade must invert the Haar analysis exactly."""
+        d = 16
+        truth = np.random.default_rng(0).dirichlet(np.ones(d))
+        haar = HaarHRR(1.0, d=d)
+        # Build exact details: delta_t[k] = left-half mass - right-half mass.
+        details = []
+        level = truth.copy()
+        for _ in range(haar.height):
+            pairs = level.reshape(-1, 2)
+            details.append(pairs[:, 0] - pairs[:, 1])
+            level = pairs.sum(axis=1)
+        haar.details_ = details
+        current = np.array([1.0])
+        for t in range(haar.height, 0, -1):
+            delta = details[t - 1]
+            expanded = np.empty(current.size * 2)
+            expanded[0::2] = (current + delta) / 2
+            expanded[1::2] = (current - delta) / 2
+            current = expanded
+        np.testing.assert_allclose(current, truth, atol=1e-12)
+
+    def test_estimates_unbiased(self, beta_values):
+        """Average over repetitions approaches the true histogram."""
+        d = 16
+        truth = true_histogram(beta_values, d)
+        acc = np.zeros(d)
+        reps = 12
+        for seed in range(reps):
+            haar = HaarHRR(2.0, d=d)
+            acc += haar.fit(beta_values, rng=np.random.default_rng(seed))
+        np.testing.assert_allclose(acc / reps, truth, atol=0.02)
+
+    def test_reasonable_accuracy(self, beta_values, rng):
+        haar = HaarHRR(2.0, d=64)
+        leaves = haar.fit(beta_values, rng=rng)
+        truth = true_histogram(beta_values, 64)
+        # 20k users split over 6 layers at eps=2: per-leaf MAE ~ 0.01.
+        assert np.abs(leaves - truth).mean() < 0.02
+
+
+class TestHaarRangeQuery:
+    def test_full_domain(self, beta_values, rng):
+        haar = HaarHRR(1.0, d=64)
+        haar.fit(beta_values, rng=rng)
+        assert haar.range_query(0.0, 1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_accuracy(self, beta_values, rng):
+        haar = HaarHRR(2.0, d=64)
+        haar.fit(beta_values, rng=rng)
+        truth = true_histogram(beta_values, 64)
+        assert haar.range_query(0.25, 0.75) == pytest.approx(
+            truth[16:48].sum(), abs=0.05
+        )
+
+    def test_rejects_bad_range(self, beta_values, rng):
+        haar = HaarHRR(1.0, d=8)
+        haar.fit(beta_values, rng=rng)
+        with pytest.raises(ValueError):
+            haar.range_query(0.9, 0.1)

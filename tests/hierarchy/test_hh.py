@@ -1,0 +1,104 @@
+"""Unit and statistical tests for the Hierarchical Histogram estimator."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.hh import HierarchicalHistogram, collect_tree_estimates
+from repro.hierarchy.tree import TreeLayout
+from tests.conftest import true_histogram
+
+
+class TestCollectTreeEstimates:
+    def test_shapes_and_root(self, rng):
+        t = TreeLayout(16, 4)
+        leaves = rng.integers(0, 16, 10_000)
+        est, weights = collect_tree_estimates(t, 1.0, leaves, rng=rng)
+        assert est.shape == (t.total_nodes,)
+        assert est[0] == 1.0
+        assert (weights > 0).all()
+
+    def test_level_estimates_unbiased(self, rng):
+        t = TreeLayout(16, 4)
+        truth = np.random.default_rng(1).dirichlet(np.ones(16))
+        leaves = rng.choice(16, size=200_000, p=truth)
+        est, _ = collect_tree_estimates(t, 2.0, leaves, rng=rng)
+        level1_truth = truth.reshape(4, 4).sum(axis=1)
+        np.testing.assert_allclose(est[t.level_slice(1)], level1_truth, atol=0.05)
+        np.testing.assert_allclose(est[t.level_slice(2)], truth, atol=0.05)
+
+    def test_rejects_bad_leaves(self, rng):
+        t = TreeLayout(16, 4)
+        with pytest.raises(ValueError):
+            collect_tree_estimates(t, 1.0, np.array([16]), rng=rng)
+
+    def test_handles_tiny_population(self, rng):
+        """With fewer users than levels, empty levels get negligible weight
+        instead of crashing."""
+        t = TreeLayout(64, 4)
+        est, weights = collect_tree_estimates(t, 1.0, np.array([0, 1]), rng=rng)
+        assert np.isfinite(est).all()
+        assert np.isfinite(weights).all()
+
+
+class TestHierarchicalHistogram:
+    def test_leaf_estimates_sum_to_one(self, beta_values, rng):
+        hh = HierarchicalHistogram(1.0, d=64, branching=4)
+        leaves = hh.fit(beta_values, rng=rng)
+        assert leaves.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_consistency_after_fit(self, beta_values, rng):
+        hh = HierarchicalHistogram(1.0, d=64, branching=4)
+        hh.fit(beta_values, rng=rng)
+        residual = hh.tree.constraint_matrix() @ hh.node_estimates_
+        np.testing.assert_allclose(residual, 0.0, atol=1e-8)
+
+    def test_reasonable_accuracy(self, beta_values, rng):
+        hh = HierarchicalHistogram(2.0, d=64, branching=4)
+        leaves = hh.fit(beta_values, rng=rng)
+        truth = true_histogram(beta_values, 64)
+        assert np.abs(leaves - truth).mean() < 0.01
+
+    def test_node_estimate_accessor(self, beta_values, rng):
+        hh = HierarchicalHistogram(1.0, d=64, branching=4)
+        hh.fit(beta_values, rng=rng)
+        assert hh.node_estimate(0, 0) == pytest.approx(1.0)
+
+    def test_query_before_fit_raises(self):
+        hh = HierarchicalHistogram(1.0, d=64)
+        with pytest.raises(RuntimeError):
+            hh.range_query(0.0, 0.5)
+        with pytest.raises(RuntimeError):
+            hh.node_estimate(0, 0)
+
+
+class TestHHRangeQuery:
+    @pytest.fixture
+    def fitted(self, beta_values):
+        hh = HierarchicalHistogram(2.0, d=64, branching=4)
+        hh.fit(beta_values, rng=np.random.default_rng(3))
+        return hh
+
+    def test_full_domain_is_one(self, fitted):
+        assert fitted.range_query(0.0, 1.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_leaf_sum_when_consistent(self, fitted):
+        """After constrained inference, the decomposition equals leaf sums."""
+        leaves = fitted.node_estimates_[fitted.tree.level_slice(fitted.tree.height)]
+        est = fitted.range_query(0.25, 0.75)
+        assert est == pytest.approx(leaves[16:48].sum(), abs=1e-8)
+
+    def test_partial_buckets_interpolated(self, fitted):
+        leaves = fitted.node_estimates_[fitted.tree.level_slice(fitted.tree.height)]
+        # Window strictly inside bucket 0: proportional share of that leaf.
+        est = fitted.range_query(0.0, 1 / 128)
+        assert est == pytest.approx(leaves[0] / 2, abs=1e-10)
+
+    def test_accuracy_against_truth(self, fitted, beta_values):
+        truth = true_histogram(beta_values, 64)
+        for lo, hi in [(0.1, 0.3), (0.5, 0.9), (0.0, 0.45)]:
+            true_mass = truth[int(lo * 64) : int(hi * 64)].sum()
+            assert fitted.range_query(lo, hi) == pytest.approx(true_mass, abs=0.05)
+
+    def test_rejects_bad_range(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.range_query(0.5, 0.4)

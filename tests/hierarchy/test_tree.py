@@ -1,0 +1,119 @@
+"""Unit and property tests for the tree layout and range decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hierarchy.tree import TreeLayout, range_decomposition
+
+
+class TestTreeLayout:
+    def test_level_sizes(self):
+        t = TreeLayout(64, 4)
+        assert t.level_sizes == (1, 4, 16, 64)
+        assert t.height == 3
+        assert t.total_nodes == 85
+
+    def test_binary_tree(self):
+        t = TreeLayout(8, 2)
+        assert t.level_sizes == (1, 2, 4, 8)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError, match="power"):
+            TreeLayout(48, 4)
+
+    def test_rejects_small_branching(self):
+        with pytest.raises(ValueError):
+            TreeLayout(8, 1)
+
+    def test_offsets(self):
+        t = TreeLayout(16, 4)
+        assert t.level_offset(0) == 0
+        assert t.level_offset(1) == 1
+        assert t.level_offset(2) == 5
+
+    def test_level_slice(self):
+        t = TreeLayout(16, 4)
+        assert t.level_slice(2) == slice(5, 21)
+
+    def test_reporting_levels_exclude_root(self):
+        assert TreeLayout(16, 4).reporting_levels == (1, 2)
+
+    def test_ancestor(self):
+        t = TreeLayout(16, 4)
+        leaves = np.array([0, 3, 4, 15])
+        np.testing.assert_array_equal(t.ancestor(leaves, 1), [0, 0, 1, 3])
+        np.testing.assert_array_equal(t.ancestor(leaves, 2), leaves)
+
+    def test_children(self):
+        t = TreeLayout(16, 4)
+        assert t.children(0, 0) == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_leaf_span(self):
+        t = TreeLayout(16, 4)
+        assert t.leaf_span(1, 2) == (8, 12)
+        assert t.leaf_span(2, 5) == (5, 6)
+
+    def test_constraint_matrix_shape(self):
+        t = TreeLayout(16, 4)
+        a = t.constraint_matrix()
+        assert a.shape == (5, 21)  # root + 4 level-1 nodes are internal
+
+    def test_constraint_matrix_annihilates_consistent_vector(self):
+        t = TreeLayout(16, 4)
+        leaves = np.random.default_rng(0).dirichlet(np.ones(16))
+        vec = np.empty(t.total_nodes)
+        vec[t.level_slice(2)] = leaves
+        vec[t.level_slice(1)] = leaves.reshape(4, 4).sum(axis=1)
+        vec[0] = leaves.sum()
+        np.testing.assert_allclose(t.constraint_matrix() @ vec, 0.0, atol=1e-12)
+
+    def test_constraint_matrix_detects_inconsistency(self):
+        t = TreeLayout(16, 4)
+        vec = np.zeros(t.total_nodes)
+        vec[0] = 1.0  # root=1 but children all zero
+        assert np.abs(t.constraint_matrix() @ vec).max() == 1.0
+
+
+class TestRangeDecomposition:
+    def test_full_domain_is_root(self):
+        t = TreeLayout(16, 4)
+        assert range_decomposition(t, 0, 16) == [(0, 0)]
+
+    def test_single_leaf(self):
+        t = TreeLayout(16, 4)
+        assert range_decomposition(t, 5, 6) == [(2, 5)]
+
+    def test_aligned_block(self):
+        t = TreeLayout(16, 4)
+        assert range_decomposition(t, 4, 8) == [(1, 1)]
+
+    def test_empty_range(self):
+        t = TreeLayout(16, 4)
+        assert range_decomposition(t, 3, 3) == []
+
+    def test_rejects_bad_range(self):
+        t = TreeLayout(16, 4)
+        with pytest.raises(ValueError):
+            range_decomposition(t, 5, 3)
+        with pytest.raises(ValueError):
+            range_decomposition(t, 0, 17)
+
+    @given(st.integers(0, 64), st.integers(0, 64))
+    def test_decomposition_partitions_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = TreeLayout(64, 4)
+        covered = []
+        for level, index in range_decomposition(t, lo, hi):
+            span_lo, span_hi = t.leaf_span(level, index)
+            covered.extend(range(span_lo, span_hi))
+        assert covered == list(range(lo, hi))
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_decomposition_is_logarithmic(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = TreeLayout(1024, 4)
+        nodes = range_decomposition(t, lo, hi)
+        # At most 2 * (branching - 1) * height blocks.
+        assert len(nodes) <= 2 * 3 * t.height

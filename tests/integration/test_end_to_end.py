@@ -1,0 +1,121 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CFOBinning,
+    HHADMM,
+    SWEstimator,
+    estimate_distribution,
+    ks_distance,
+    load_dataset,
+    wasserstein_distance,
+)
+from tests.conftest import true_histogram
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        values = np.random.default_rng(0).beta(5, 2, 30_000)
+        estimator = SWEstimator(epsilon=1.0, d=128)
+        histogram = estimator.fit(values)
+        assert histogram.shape == (128,)
+        assert histogram.sum() == pytest.approx(1.0)
+
+    def test_client_server_separation(self):
+        """privatize on 'clients', aggregate on the 'server'."""
+        values = np.random.default_rng(1).random(10_000)
+        est = SWEstimator(1.0, d=64)
+        # Each client randomizes independently.
+        reports = np.concatenate(
+            [
+                est.privatize(chunk, rng=np.random.default_rng(i))
+                for i, chunk in enumerate(np.array_split(values, 10))
+            ]
+        )
+        histogram = est.aggregate(reports)
+        assert histogram.sum() == pytest.approx(1.0)
+        # Uniform data -> roughly uniform estimate.
+        assert histogram.max() < 0.1
+
+    def test_every_distribution_method_on_every_dataset(self, rng):
+        """Cross-product smoke test at tiny scale."""
+        for name in ("beta", "taxi", "income", "retirement"):
+            ds = load_dataset(name, n=3000, rng=rng)
+            truth = ds.histogram(64)
+            for method in (
+                SWEstimator(1.0, d=64),
+                HHADMM(1.0, d=64),
+                CFOBinning(1.0, d=64, bins=16),
+            ):
+                out = method.fit(ds.values, rng=rng)
+                assert out.shape == truth.shape
+                assert out.sum() == pytest.approx(1.0)
+                assert wasserstein_distance(truth, out) < 0.25
+
+
+class TestStatisticalConsistency:
+    def test_error_decreases_with_population(self):
+        """More users -> better estimates (LDP error is O(1/sqrt(n)))."""
+        gen = np.random.default_rng(3)
+        big = gen.beta(5, 2, 64_000)
+        errors = []
+        for n in (4_000, 64_000):
+            vals = big[:n]
+            truth = true_histogram(vals, 64)
+            est = SWEstimator(1.0, d=64).fit(vals, rng=np.random.default_rng(0))
+            errors.append(wasserstein_distance(truth, est))
+        assert errors[1] < errors[0]
+
+    def test_error_decreases_with_epsilon(self, beta_values):
+        truth = true_histogram(beta_values, 64)
+        errors = []
+        for eps in (0.5, 2.5):
+            out = estimate_distribution(
+                beta_values, eps, d=64, rng=np.random.default_rng(0)
+            )
+            errors.append(ks_distance(truth, out))
+        assert errors[1] < errors[0]
+
+    def test_bimodal_structure_recovered(self, bimodal_values):
+        """The reconstruction must find both modes, not merge them."""
+        truth = true_histogram(bimodal_values, 64)
+        out = SWEstimator(2.0, d=64).fit(
+            bimodal_values, rng=np.random.default_rng(0)
+        )
+        # Peak near 0.25 and 0.75, trough near 0.5.
+        left = out[12:20].max()
+        right = out[44:52].max()
+        trough = out[28:36].min()
+        assert left > 3 * trough
+        assert right > 3 * trough
+
+    def test_sw_ems_beats_cfo_binning_on_taxi_shape(self):
+        """Multi-modal data: SW+EMS resolves structure coarse bins cannot.
+
+        Averaged over seeds — at this reduced n the single-trial errors of
+        the two methods overlap, but the means separate cleanly.
+        """
+        ds = load_dataset("taxi", n=60_000, rng=1)
+        truth = ds.histogram(256)
+        sw_errs, cfo_errs = [], []
+        for seed in range(4):
+            sw_errs.append(
+                wasserstein_distance(
+                    truth,
+                    SWEstimator(1.0, d=256).fit(
+                        ds.values, rng=np.random.default_rng(seed)
+                    ),
+                )
+            )
+            cfo_errs.append(
+                wasserstein_distance(
+                    truth,
+                    CFOBinning(1.0, d=256, bins=16).fit(
+                        ds.values, rng=np.random.default_rng(seed)
+                    ),
+                )
+            )
+        assert np.mean(sw_errs) < np.mean(cfo_errs)

@@ -1,0 +1,146 @@
+"""Tests pinning the paper's central experimental claims (reduced scale).
+
+Each test here corresponds to a sentence in the paper's abstract,
+Section 5, or Section 6 — the qualitative *shape* of the results that the
+reproduction must preserve. Statistical comparisons average a few seeds so
+they are stable under the fixed test seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import optimal_bandwidth
+from repro.core.general_wave import GeneralWave
+from repro.core.pipeline import SWEstimator, WaveEstimator
+from repro.hierarchy.admm import HHADMM
+from repro.metrics.distances import ks_distance, wasserstein_distance
+from repro.metrics.statistics import quantile_error
+from tests.conftest import true_histogram
+
+
+def _mean_w1(estimator_factory, values, truth, seeds=3):
+    out = []
+    for seed in range(seeds):
+        est = estimator_factory().fit(values, rng=np.random.default_rng(seed))
+        out.append(wasserstein_distance(truth, est))
+    return float(np.mean(out))
+
+
+@pytest.fixture(scope="module")
+def beta_50k():
+    return np.random.default_rng(2024).beta(5, 2, 50_000)
+
+
+@pytest.fixture(scope="module")
+def spiky_values():
+    """Income-like: smooth body + round-number spikes."""
+    gen = np.random.default_rng(9)
+    body = gen.beta(2, 4, 60_000)
+    spikes = gen.choice([0.1, 0.2, 0.3, 0.5], size=40_000)
+    return np.concatenate([body, spikes])
+
+
+class TestHeadlineClaim:
+    """'SW with EMS consistently outperforms other methods' (abstract)."""
+
+    def test_sw_ems_beats_sw_em_w1(self, beta_50k):
+        truth = true_histogram(beta_50k, 256)
+        ems = _mean_w1(lambda: SWEstimator(1.0, 256, postprocess="ems"), beta_50k, truth)
+        em = _mean_w1(lambda: SWEstimator(1.0, 256, postprocess="em"), beta_50k, truth)
+        assert ems < em
+
+    def test_sw_ems_beats_hh_admm_on_smooth_data(self, beta_50k):
+        truth = true_histogram(beta_50k, 256)
+        sw = _mean_w1(lambda: SWEstimator(1.0, 256), beta_50k, truth)
+        admm = _mean_w1(lambda: HHADMM(1.0, 256), beta_50k, truth)
+        assert sw < admm
+
+
+class TestSpikyDataClaim:
+    """'HH-ADMM performs better than SW-EMS on a very spiky distribution
+    under some of the metrics' (Section 6.2: KS distance, income, large eps)."""
+
+    def test_hh_admm_wins_ks_on_spiky_data(self, spiky_values):
+        truth = true_histogram(spiky_values, 256)
+        eps = 2.5
+        sw_ks, admm_ks = [], []
+        for seed in range(3):
+            sw = SWEstimator(eps, 256).fit(spiky_values, rng=np.random.default_rng(seed))
+            admm = HHADMM(eps, 256).fit(spiky_values, rng=np.random.default_rng(seed + 50))
+            sw_ks.append(ks_distance(truth, sw))
+            admm_ks.append(ks_distance(truth, admm))
+        assert np.mean(admm_ks) < np.mean(sw_ks)
+
+    def test_ems_smooths_spikes_away(self, spiky_values):
+        """Why SW-EMS loses on KS: its estimate underweights point masses."""
+        truth = true_histogram(spiky_values, 256)
+        spike_bucket = int(0.5 * 256)
+        sw = SWEstimator(2.5, 256).fit(spiky_values, rng=np.random.default_rng(0))
+        admm = HHADMM(2.5, 256).fit(spiky_values, rng=np.random.default_rng(0))
+        true_spike = truth[spike_bucket]
+        assert abs(admm[spike_bucket] - true_spike) < abs(sw[spike_bucket] - true_spike)
+
+
+class TestWaveShapeClaim:
+    """'Square Wave has the best utility' among general waves (Theorem 5.3,
+    Figure 5)."""
+
+    @pytest.mark.parametrize("ratio", [0.0, 0.4])
+    def test_square_beats_shape(self, ratio, beta_50k):
+        truth = true_histogram(beta_50k, 128)
+        b = 0.2
+        square = _mean_w1(
+            lambda: WaveEstimator(GeneralWave(1.0, b=b, ratio=1.0), 128),
+            beta_50k,
+            truth,
+        )
+        other = _mean_w1(
+            lambda: WaveEstimator(GeneralWave(1.0, b=b, ratio=ratio), 128),
+            beta_50k,
+            truth,
+        )
+        assert square < other
+
+    def test_wasserstein_separation_theorem(self):
+        """Lemma 5.4: output distributions of two inputs separated by Delta
+        have Wasserstein distance Delta * (1 - (2b+1) q); SW maximizes it."""
+        b = 0.25
+        for ratio, better in [(1.0, None), (0.5, 1.0)]:
+            gw = GeneralWave(1.0, b=b, ratio=ratio)
+            sep = 1.0 - (2 * b + 1) * gw.q
+            if better is not None:
+                gw_best = GeneralWave(1.0, b=b, ratio=better)
+                sep_best = 1.0 - (2 * b + 1) * gw_best.q
+                assert sep_best > sep
+
+
+class TestBandwidthClaim:
+    """'Choosing b by mutual information is optimal or close to optimal'
+    (Section 6.4, Figure 6)."""
+
+    def test_b_star_near_empirical_optimum(self, beta_50k):
+        """The W1-vs-b curve is flat near its minimum (paper Figure 6), so we
+        assert b*'s error is within a modest factor of the grid-best error,
+        and far better than a clearly-bad bandwidth."""
+        eps = 1.0
+        truth = true_histogram(beta_50k, 128)
+        b_star = optimal_bandwidth(eps)
+        grid = [0.02, 0.05, 0.1, 0.15, 0.2, b_star, 0.3, 0.35, 0.4]
+        errors = {
+            b: _mean_w1(lambda b=b: SWEstimator(eps, 128, b=b), beta_50k, truth, seeds=3)
+            for b in grid
+        }
+        best = min(errors.values())
+        assert errors[b_star] <= 1.5 * best, (
+            f"b*={b_star:.3f}: W1 {errors[b_star]:.5f} vs best {best:.5f}"
+        )
+        assert errors[b_star] < errors[0.02]
+
+
+class TestQuantileClaim:
+    """Quantile estimation: SW-EMS is accurate on smooth data (Fig 4 i-l)."""
+
+    def test_quantile_error_small(self, beta_50k):
+        truth = true_histogram(beta_50k, 256)
+        est = SWEstimator(2.0, 256).fit(beta_50k, rng=np.random.default_rng(0))
+        assert quantile_error(truth, est) < 0.02

@@ -1,0 +1,107 @@
+"""Unit, statistical, and privacy tests for the Piecewise Mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mean.piecewise import PiecewiseMechanism
+from repro.privacy.audit import audit_continuous_mechanism
+
+
+class TestPMParameters:
+    def test_s_formula(self):
+        pm = PiecewiseMechanism(2.0)
+        half = math.exp(1.0)
+        assert pm.s == pytest.approx((half + 1) / (half - 1))
+
+    def test_window_width_constant(self):
+        pm = PiecewiseMechanism(1.0)
+        for v in (-1.0, 0.0, 0.5, 1.0):
+            left, right = pm.window(np.array([v]))
+            assert right[0] - left[0] == pytest.approx(
+                2.0 / (math.exp(0.5) - 1.0)
+            )
+
+    def test_window_inside_output_domain(self):
+        pm = PiecewiseMechanism(1.0)
+        left, right = pm.window(np.array([-1.0, 1.0]))
+        assert left.min() >= -pm.s - 1e-12
+        assert right.max() <= pm.s + 1e-12
+
+    def test_extreme_input_window_touches_edge(self):
+        """Paper: for v=-1 the window is [-s, -1] — the input is *not*
+        centered, which is what keeps PM unbiased."""
+        pm = PiecewiseMechanism(1.0)
+        left, right = pm.window(np.array([-1.0]))
+        assert left[0] == pytest.approx(-pm.s)
+        assert right[0] == pytest.approx(-1.0)
+
+
+class TestPMPrivatize:
+    def test_reports_in_domain(self, rng):
+        pm = PiecewiseMechanism(1.0)
+        reports = pm.privatize(rng.uniform(-1, 1, 20_000), rng=rng)
+        assert np.abs(reports).max() <= pm.s + 1e-12
+
+    def test_window_hit_rate(self, rng):
+        pm = PiecewiseMechanism(1.0)
+        v = 0.2
+        reports = pm.privatize(np.full(100_000, v), rng=rng)
+        left, right = pm.window(np.array([v]))
+        rate = ((reports >= left[0]) & (reports <= right[0])).mean()
+        assert rate == pytest.approx(pm.window_mass, abs=0.005)
+
+    @pytest.mark.parametrize("v", [-1.0, -0.3, 0.0, 0.6, 1.0])
+    def test_unbiased_per_input(self, v, rng):
+        pm = PiecewiseMechanism(1.0)
+        reports = pm.privatize(np.full(300_000, v), rng=rng)
+        assert reports.mean() == pytest.approx(v, abs=0.02)
+
+    def test_empirical_density_matches_pdf(self, rng):
+        pm = PiecewiseMechanism(1.0)
+        v = 0.4
+        reports = pm.privatize(np.full(400_000, v), rng=rng)
+        counts, edges = np.histogram(reports, bins=60, range=(-pm.s, pm.s), density=True)
+        centers = (edges[:-1] + edges[1:]) / 2
+        expected = pm.pdf(v, centers)
+        left, right = pm.window(np.array([v]))
+        width = edges[1] - edges[0]
+        interior = (np.abs(centers - left[0]) > width) & (np.abs(centers - right[0]) > width)
+        np.testing.assert_allclose(counts[interior], expected[interior], rtol=0.15)
+
+
+class TestPMEstimate:
+    def test_mean_estimation(self, rng):
+        pm = PiecewiseMechanism(2.0)
+        values = np.clip(rng.normal(0.3, 0.4, 100_000), -1, 1)
+        assert pm.mean_from_values(values, rng=rng) == pytest.approx(
+            values.mean(), abs=0.02
+        )
+
+    def test_rejects_out_of_domain_reports(self):
+        pm = PiecewiseMechanism(1.0)
+        with pytest.raises(ValueError):
+            pm.estimate_mean(np.array([pm.s + 1.0]))
+
+
+class TestPMPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_ldp_audit(self, epsilon):
+        pm = PiecewiseMechanism(epsilon)
+
+        class _Wrapper:
+            """Adapt PM's [-1,1] input domain to the audit's [0,1] grid."""
+
+            def __init__(self, pm):
+                self.pm = pm
+                self.epsilon = pm.epsilon
+                self.output_low = -pm.s
+                self.output_high = pm.s
+
+            def pdf(self, v01, outputs):
+                return self.pm.pdf(2 * v01 - 1, outputs)
+
+        result = audit_continuous_mechanism(_Wrapper(pm))
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(epsilon), rel=1e-6)

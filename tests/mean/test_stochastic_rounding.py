@@ -1,0 +1,69 @@
+"""Unit and statistical tests for Stochastic Rounding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mean.stochastic_rounding import StochasticRounding
+
+
+class TestSRParameters:
+    def test_probabilities(self):
+        sr = StochasticRounding(math.log(3.0))
+        assert sr.p == pytest.approx(0.75)
+        assert sr.q == pytest.approx(0.25)
+
+    def test_report_bound(self):
+        sr = StochasticRounding(1.0)
+        assert sr.report_bound == pytest.approx(1.0 / (sr.p - sr.q))
+
+
+class TestSRPrivatize:
+    def test_reports_are_extremes(self, rng):
+        sr = StochasticRounding(1.0)
+        reports = sr.privatize(rng.uniform(-1, 1, 1000), rng=rng)
+        assert set(np.unique(reports)) <= {-1.0, 1.0}
+
+    def test_positive_input_biases_positive(self, rng):
+        sr = StochasticRounding(2.0)
+        reports = sr.privatize(np.full(50_000, 0.8), rng=rng)
+        assert (reports == 1.0).mean() > 0.6
+
+    def test_probability_formula(self, rng):
+        sr = StochasticRounding(1.0)
+        v = 0.3
+        reports = sr.privatize(np.full(100_000, v), rng=rng)
+        expected = sr.q + (sr.p - sr.q) * (1 + v) / 2
+        assert (reports == 1.0).mean() == pytest.approx(expected, abs=0.005)
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            StochasticRounding(1.0).privatize(np.array([1.5]), rng=rng)
+
+
+class TestSREstimate:
+    @pytest.mark.parametrize("true_mean", [-0.5, 0.0, 0.7])
+    def test_unbiased_mean(self, true_mean, rng):
+        sr = StochasticRounding(1.0)
+        values = np.clip(rng.normal(true_mean, 0.2, 100_000), -1, 1)
+        est = sr.mean_from_values(values, rng=rng)
+        assert est == pytest.approx(values.mean(), abs=0.02)
+
+    def test_debias_per_report(self):
+        sr = StochasticRounding(1.0)
+        np.testing.assert_allclose(
+            sr.debias(np.array([1.0, -1.0])),
+            [sr.report_bound, -sr.report_bound],
+        )
+
+    def test_debias_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            StochasticRounding(1.0).debias(np.array([0.5]))
+
+    def test_expectation_identity(self, rng):
+        """E[v~] = v for a fixed input (the paper's Section 2.2 identity)."""
+        sr = StochasticRounding(1.5)
+        v = -0.4
+        reports = sr.privatize(np.full(200_000, v), rng=rng)
+        assert sr.debias(reports).mean() == pytest.approx(v, abs=0.02)

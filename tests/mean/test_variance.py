@@ -1,0 +1,74 @@
+"""Unit tests for the unit-domain mean/variance protocols."""
+
+import numpy as np
+import pytest
+
+from repro.mean.variance import (
+    estimate_mean_unit,
+    estimate_variance_unit,
+    make_mechanism,
+)
+from repro.mean.piecewise import PiecewiseMechanism
+from repro.mean.stochastic_rounding import StochasticRounding
+
+
+class TestMakeMechanism:
+    def test_sr(self):
+        assert isinstance(make_mechanism("sr", 1.0), StochasticRounding)
+
+    def test_pm(self):
+        assert isinstance(make_mechanism("pm", 1.0), PiecewiseMechanism)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="mechanism"):
+            make_mechanism("laplace", 1.0)
+
+
+class TestEstimateMeanUnit:
+    @pytest.mark.parametrize("mechanism", ["sr", "pm"])
+    def test_accurate_at_high_epsilon(self, mechanism, beta_values, rng):
+        est = estimate_mean_unit(beta_values, 4.0, mechanism, rng=rng)
+        assert est == pytest.approx(beta_values.mean(), abs=0.02)
+
+    def test_clipped_to_unit(self, rng):
+        # Extreme noise cannot push the estimate outside [0, 1].
+        values = np.full(100, 0.99)
+        for seed in range(5):
+            est = estimate_mean_unit(values, 0.1, "sr", rng=seed)
+            assert 0.0 <= est <= 1.0
+
+    def test_rejects_bad_values(self, rng):
+        with pytest.raises(ValueError):
+            estimate_mean_unit(np.array([1.5]), 1.0, "pm", rng=rng)
+
+
+class TestEstimateVarianceUnit:
+    @pytest.mark.parametrize("mechanism", ["sr", "pm"])
+    def test_accurate_at_high_epsilon(self, mechanism, beta_values, rng):
+        mean_est, var_est = estimate_variance_unit(
+            beta_values, 4.0, mechanism, rng=rng
+        )
+        assert mean_est == pytest.approx(beta_values.mean(), abs=0.03)
+        assert var_est == pytest.approx(beta_values.var(), abs=0.01)
+
+    def test_variance_nonnegative(self, rng):
+        values = rng.random(1000)
+        for seed in range(3):
+            _, var = estimate_variance_unit(values, 0.2, "sr", rng=seed)
+            assert 0.0 <= var <= 1.0
+
+    def test_mean_fraction_validated(self, beta_values):
+        with pytest.raises(ValueError):
+            estimate_variance_unit(beta_values, 1.0, "pm", mean_fraction=1.0)
+
+    def test_needs_two_users(self):
+        with pytest.raises(ValueError):
+            estimate_variance_unit(np.array([0.5]), 1.0, "pm")
+
+    def test_split_uses_disjoint_groups(self, rng):
+        """Sanity: protocol runs with exactly 2 users (1 per phase)."""
+        mean_est, var_est = estimate_variance_unit(
+            np.array([0.4, 0.6]), 1.0, "sr", rng=rng
+        )
+        assert 0.0 <= mean_est <= 1.0
+        assert 0.0 <= var_est <= 1.0

@@ -1,0 +1,95 @@
+"""Unit and property tests for W1/KS distances, including the paper's
+motivating ordered-domain example."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import stats
+
+from repro.metrics.distances import ks_distance, wasserstein_distance
+
+
+def _simplex(d):
+    return (
+        hnp.arrays(np.float64, d, elements=st.floats(0.0, 1.0))
+        .map(lambda a: a + 1e-12)
+        .map(lambda a: a / a.sum())
+    )
+
+
+class TestWasserstein:
+    def test_identical_is_zero(self):
+        x = np.array([0.2, 0.8])
+        assert wasserstein_distance(x, x) == 0.0
+
+    def test_paper_ordered_example(self):
+        """Section 3.1: moving 0.6 mass one bucket < moving it three buckets."""
+        x = np.array([0.7, 0.1, 0.1, 0.1])
+        near = np.array([0.1, 0.7, 0.1, 0.1])
+        far = np.array([0.1, 0.1, 0.1, 0.7])
+        assert wasserstein_distance(x, near) < wasserstein_distance(x, far)
+
+    def test_adjacent_swap_value(self):
+        # Moving mass m by one bucket of width 1/d costs m/d.
+        x = np.array([1.0, 0.0])
+        y = np.array([0.0, 1.0])
+        assert wasserstein_distance(x, y) == pytest.approx(0.5)
+
+    def test_matches_scipy_on_samples(self, rng):
+        d = 32
+        a = rng.dirichlet(np.ones(d))
+        b = rng.dirichlet(np.ones(d))
+        mids = (np.arange(d) + 0.5) / d
+        expected = stats.wasserstein_distance(mids, mids, a, b)
+        assert wasserstein_distance(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            wasserstein_distance(np.ones(3) / 3, np.ones(4) / 4)
+
+    @given(_simplex(16), _simplex(16))
+    def test_symmetry(self, a, b):
+        assert wasserstein_distance(a, b) == pytest.approx(wasserstein_distance(b, a))
+
+    @given(_simplex(16), _simplex(16), _simplex(16))
+    def test_triangle_inequality(self, a, b, c):
+        ab = wasserstein_distance(a, b)
+        bc = wasserstein_distance(b, c)
+        ac = wasserstein_distance(a, c)
+        assert ac <= ab + bc + 1e-12
+
+    @given(_simplex(16), _simplex(16))
+    def test_bounded_by_domain_width(self, a, b):
+        assert 0.0 <= wasserstein_distance(a, b) <= 1.0
+
+
+class TestKS:
+    def test_identical_is_zero(self):
+        x = np.array([0.3, 0.7])
+        assert ks_distance(x, x) == 0.0
+
+    def test_disjoint_point_masses(self):
+        x = np.array([1.0, 0.0, 0.0])
+        y = np.array([0.0, 0.0, 1.0])
+        assert ks_distance(x, y) == pytest.approx(1.0)
+
+    def test_ordered_domain_example(self):
+        x = np.array([0.7, 0.1, 0.1, 0.1])
+        near = np.array([0.1, 0.7, 0.1, 0.1])
+        far = np.array([0.1, 0.1, 0.1, 0.7])
+        assert ks_distance(x, near) <= ks_distance(x, far)
+
+    @given(_simplex(16), _simplex(16))
+    def test_bounds(self, a, b):
+        assert 0.0 <= ks_distance(a, b) <= 1.0
+
+    @given(_simplex(16), _simplex(16))
+    def test_ks_at_least_w1(self, a, b):
+        # max |CDF diff| >= mean |CDF diff| = W1 on the unit domain.
+        assert ks_distance(a, b) >= wasserstein_distance(a, b) - 1e-12
+
+    @given(_simplex(16), _simplex(16))
+    def test_symmetry(self, a, b):
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))

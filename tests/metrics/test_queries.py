@@ -1,0 +1,91 @@
+"""Unit tests for range queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.queries import random_range_queries, range_query, range_query_mae
+
+
+class TestRangeQuery:
+    def test_full_domain(self):
+        x = np.array([0.25, 0.25, 0.5])
+        assert range_query(x, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_single_bucket(self):
+        x = np.array([0.2, 0.3, 0.5])
+        assert range_query(x, 1 / 3, 1 / 3) == pytest.approx(0.3)
+
+    def test_partial_bucket_proportional(self):
+        x = np.array([1.0])
+        assert range_query(x, 0.25, 0.5) == pytest.approx(0.5)
+
+    def test_window_clipped_to_domain(self):
+        x = np.array([0.5, 0.5])
+        assert range_query(x, 0.5, 10.0) == pytest.approx(0.5)
+
+    def test_zero_width(self):
+        x = np.array([0.5, 0.5])
+        assert range_query(x, 0.3, 0.0) == 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            range_query(np.array([1.0]), 0.2, -0.1)
+
+    def test_additivity(self):
+        x = np.array([0.1, 0.2, 0.3, 0.4])
+        whole = range_query(x, 0.1, 0.7)
+        split = range_query(x, 0.1, 0.3) + range_query(x, 0.4, 0.4)
+        assert whole == pytest.approx(split)
+
+    @given(
+        hnp.arrays(np.float64, 16, elements=st.floats(0.0, 1.0)),
+        st.floats(0.0, 1.0),
+        st.floats(0.01, 1.0),
+    )
+    def test_nonnegative_and_bounded(self, raw, left, alpha):
+        total = raw.sum()
+        if total == 0:
+            return
+        x = raw / total
+        mass = range_query(x, left, alpha)
+        assert -1e-12 <= mass <= 1.0 + 1e-12
+
+
+class TestRandomQueries:
+    def test_range_of_lefts(self, rng):
+        lefts = random_range_queries(0.4, 50, rng)
+        assert lefts.min() >= 0.0 and lefts.max() <= 0.6
+
+    def test_count(self, rng):
+        assert random_range_queries(0.1, 7, rng).size == 7
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            random_range_queries(0.0, 10)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            random_range_queries(0.1, 0)
+
+
+class TestRangeQueryMAE:
+    def test_identical_histograms_zero_error(self, rng):
+        x = rng.dirichlet(np.ones(32))
+        assert range_query_mae(x, x, 0.1, rng=rng) == pytest.approx(0.0)
+
+    def test_detects_shift(self, rng):
+        x = np.zeros(10)
+        x[2] = 1.0
+        y = np.zeros(10)
+        y[7] = 1.0
+        assert range_query_mae(x, y, 0.1, rng=rng) > 0.1
+
+    def test_reproducible_with_seed(self, beta_hist_64):
+        noisy = beta_hist_64 + 0.001
+        noisy /= noisy.sum()
+        a = range_query_mae(beta_hist_64, noisy, 0.4, rng=3)
+        b = range_query_mae(beta_hist_64, noisy, 0.4, rng=3)
+        assert a == b

@@ -1,0 +1,69 @@
+"""Unit tests for statistical-quantity error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.statistics import DECILES, mean_error, quantile_error, variance_error
+
+
+class TestMeanError:
+    def test_zero_for_identical(self):
+        x = np.array([0.5, 0.5])
+        assert mean_error(x, x) == 0.0
+
+    def test_known_shift(self):
+        x = np.array([1.0, 0.0])  # mean 0.25
+        y = np.array([0.0, 1.0])  # mean 0.75
+        assert mean_error(x, y) == pytest.approx(0.5)
+
+    def test_symmetric(self, rng):
+        a = rng.dirichlet(np.ones(8))
+        b = rng.dirichlet(np.ones(8))
+        assert mean_error(a, b) == pytest.approx(mean_error(b, a))
+
+
+class TestVarianceError:
+    def test_zero_for_identical(self):
+        x = np.array([0.25, 0.25, 0.25, 0.25])
+        assert variance_error(x, x) == 0.0
+
+    def test_point_mass_vs_spread(self):
+        point = np.array([0.0, 1.0, 0.0, 0.0])
+        spread = np.array([0.5, 0.0, 0.0, 0.5])
+        # spread has variance (3/8)^2 = 0.140625, point has 0.
+        assert variance_error(point, spread) == pytest.approx(0.140625)
+
+
+class TestQuantileError:
+    def test_deciles_constant(self):
+        assert DECILES == tuple(pytest.approx(v) for v in np.arange(0.1, 1.0, 0.1))
+
+    def test_zero_for_identical(self):
+        x = np.full(100, 0.01)
+        assert quantile_error(x, x) == 0.0
+
+    def test_uniform_vs_shifted(self):
+        d = 100
+        uniform = np.full(d, 1.0 / d)
+        shifted = np.roll(uniform.copy(), 10)  # same histogram -> same quantiles
+        assert quantile_error(uniform, shifted) == pytest.approx(0.0)
+
+    def test_point_masses_distance(self):
+        x = np.zeros(10)
+        x[1] = 1.0
+        y = np.zeros(10)
+        y[8] = 1.0
+        # every decile displaced by 0.7
+        assert quantile_error(x, y) == pytest.approx(0.7)
+
+    def test_custom_quantiles(self):
+        x = np.zeros(4)
+        x[0] = 1.0
+        y = np.zeros(4)
+        y[3] = 1.0
+        assert quantile_error(x, y, quantiles=[0.5]) == pytest.approx(0.75)
+
+    def test_empty_quantiles_rejected(self):
+        x = np.array([1.0])
+        with pytest.raises(ValueError):
+            quantile_error(x, x, quantiles=[])

@@ -1,0 +1,90 @@
+"""Unit and property tests for Norm-Sub."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.postprocess.norm_sub import norm_sub
+from repro.postprocess.projections import project_simplex
+
+finite_vectors = hnp.arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestNormSubBasics:
+    def test_already_valid_with_surplus_untouched(self):
+        x = np.array([0.25, 0.25, 0.5])
+        np.testing.assert_allclose(norm_sub(x), x)
+
+    def test_negative_zeroed(self):
+        out = norm_sub(np.array([-0.2, 0.6, 0.6]))
+        assert out[0] == 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_cascading_rounds(self):
+        # The first subtraction pushes the small positive negative,
+        # requiring a second round.
+        out = norm_sub(np.array([0.05, 1.2, 1.15]))
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_all_negative_gives_uniform(self):
+        np.testing.assert_allclose(norm_sub(np.array([-1.0, -2.0])), 0.5)
+
+    def test_deficit_adds_to_positives_only(self):
+        out = norm_sub(np.array([0.1, 0.1, -0.5]))
+        assert out[2] == 0.0
+        assert out[0] == pytest.approx(out[1]) == pytest.approx(0.5)
+
+    def test_count_scale(self):
+        out = norm_sub(np.array([30.0, -10.0, 90.0]), total=100.0)
+        assert out.sum() == pytest.approx(100.0)
+
+    def test_total_zero(self):
+        out = norm_sub(np.array([0.5, -0.5]), total=0.0)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            norm_sub(np.array([np.nan, 1.0]))
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            norm_sub(np.array([1.0]), total=-1.0)
+
+
+class TestNormSubProperties:
+    @given(finite_vectors)
+    def test_output_is_distribution(self, v):
+        out = norm_sub(v)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(finite_vectors)
+    def test_idempotent(self, v):
+        once = norm_sub(v)
+        twice = norm_sub(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    @given(finite_vectors)
+    def test_order_preserved(self, v):
+        """Norm-Sub never swaps the order of two estimates."""
+        out = norm_sub(v)
+        idx = np.argsort(v, kind="stable")
+        sorted_out = out[idx]
+        assert (np.diff(sorted_out) >= -1e-9).all()
+
+    @given(finite_vectors)
+    def test_matches_simplex_projection_in_surplus_regime(self, v):
+        """When mass must be removed, Norm-Sub's fixpoint is the Euclidean
+        simplex projection (water-filling)."""
+        positive_sum = v[v > 0].sum()
+        if positive_sum <= 1.0:  # deficit regime differs by design
+            return
+        np.testing.assert_allclose(norm_sub(v), project_simplex(v), atol=1e-8)

@@ -1,0 +1,67 @@
+"""Unit and property tests for Euclidean projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.postprocess.projections import project_nonnegative, project_simplex
+
+finite_vectors = hnp.arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestProjectSimplex:
+    def test_interior_point_unchanged(self):
+        x = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(x), x)
+
+    def test_known_projection(self):
+        # Projection of (1, 1) onto the simplex is (0.5, 0.5).
+        np.testing.assert_allclose(project_simplex(np.array([1.0, 1.0])), 0.5)
+
+    def test_large_negative_dropped(self):
+        out = project_simplex(np.array([2.0, -5.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_total_zero(self):
+        np.testing.assert_allclose(project_simplex(np.array([1.0, 2.0]), total=0.0), 0.0)
+
+    def test_custom_total(self):
+        out = project_simplex(np.array([5.0, 1.0]), total=4.0)
+        assert out.sum() == pytest.approx(4.0)
+
+    @given(finite_vectors)
+    def test_output_in_simplex(self, v):
+        out = project_simplex(v)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(finite_vectors)
+    def test_idempotent(self, v):
+        once = project_simplex(v)
+        np.testing.assert_allclose(project_simplex(once), once, atol=1e-9)
+
+    @given(finite_vectors)
+    def test_is_closest_point_vs_random_candidates(self, v):
+        """The projection is no farther from v than other simplex points."""
+        out = project_simplex(v)
+        gen = np.random.default_rng(0)
+        for _ in range(5):
+            candidate = gen.dirichlet(np.ones(v.size))
+            assert np.linalg.norm(out - v) <= np.linalg.norm(candidate - v) + 1e-9
+
+
+class TestProjectNonnegative:
+    def test_clamps(self):
+        np.testing.assert_allclose(
+            project_nonnegative(np.array([-1.0, 2.0])), [0.0, 2.0]
+        )
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            project_nonnegative(np.array([np.nan]))

@@ -1,0 +1,107 @@
+"""Unit and property tests for the Norm-variant post-processors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.postprocess.variants import base_cut, norm_cut, norm_full, norm_mul
+
+finite_vectors = hnp.arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestNormFull:
+    def test_shifts_to_target(self):
+        out = norm_full(np.array([0.1, 0.3]), total=1.0)
+        np.testing.assert_allclose(out, [0.4, 0.6])
+
+    def test_preserves_differences(self, rng):
+        v = rng.normal(size=10)
+        out = norm_full(v)
+        np.testing.assert_allclose(np.diff(out), np.diff(v), atol=1e-12)
+
+    def test_keeps_negatives(self):
+        out = norm_full(np.array([-2.0, 1.0]), total=1.0)
+        assert out[0] < 0
+
+    @given(finite_vectors)
+    def test_sums_to_target(self, v):
+        assert norm_full(v).sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestNormMul:
+    def test_rescales_positives(self):
+        out = norm_mul(np.array([-0.5, 1.0, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 0.25, 0.75])
+
+    def test_uniform_fallback(self):
+        np.testing.assert_allclose(norm_mul(np.array([-1.0, -2.0])), 0.5)
+
+    def test_preserves_ratios(self):
+        out = norm_mul(np.array([1.0, 2.0, 5.0]))
+        assert out[2] / out[1] == pytest.approx(2.5)
+
+    @given(finite_vectors)
+    def test_output_is_distribution(self, v):
+        out = norm_mul(v)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestNormCut:
+    def test_keeps_large_entries_exactly(self):
+        v = np.array([0.6, 0.5, 0.3, -0.2])
+        out = norm_cut(v)
+        # 0.6 passes through untouched; 0.5 is trimmed to 0.4; rest zeroed.
+        assert out[0] == pytest.approx(0.6)
+        assert out[1] == pytest.approx(0.4)
+        assert out[2] == 0.0 and out[3] == 0.0
+
+    def test_deficit_falls_back_to_mul(self):
+        v = np.array([0.2, 0.3])
+        np.testing.assert_allclose(norm_cut(v), [0.4, 0.6])
+
+    def test_spike_preservation_vs_norm_sub(self):
+        """The motivating property: a dominant spike survives norm_cut
+        unchanged, while Norm-Sub shaves it."""
+        from repro.postprocess.norm_sub import norm_sub
+
+        v = np.array([0.9, 0.4, 0.4, -0.1, -0.2])
+        cut = norm_cut(v)
+        sub = norm_sub(v)
+        assert cut[0] == pytest.approx(0.9)
+        assert sub[0] < 0.9
+
+    @given(finite_vectors)
+    def test_output_is_distribution(self, v):
+        out = norm_cut(v)
+        assert (out >= -1e-12).all()
+        assert out.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestBaseCut:
+    def test_thresholding(self):
+        out = base_cut(np.array([0.05, 0.2, -0.1]), threshold=0.1)
+        np.testing.assert_allclose(out, [0.0, 0.2, 0.0])
+
+    def test_zero_threshold_keeps_nonnegative(self):
+        out = base_cut(np.array([0.3, -0.3]), threshold=0.0)
+        np.testing.assert_allclose(out, [0.3, 0.0])
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            base_cut(np.array([1.0]), threshold=-1.0)
+
+    def test_noise_suppression(self, rng):
+        """Entries that are pure noise get zeroed at 2-sigma threshold."""
+        truth = np.zeros(100)
+        truth[7] = 1.0
+        noisy = truth + rng.normal(0, 0.01, 100)
+        out = base_cut(noisy, threshold=0.02)
+        assert out[7] > 0.9
+        assert (out[np.arange(100) != 7] == 0).mean() > 0.9

@@ -1,0 +1,132 @@
+"""Unit and integration tests for the client/server protocol layer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distances import wasserstein_distance
+from repro.protocol import (
+    PROTOCOL_VERSION,
+    SWClient,
+    SWReport,
+    SWServer,
+    decode_batch,
+    encode_batch,
+)
+
+
+class TestMessages:
+    def test_json_roundtrip(self):
+        report = SWReport("round-1", 0.42)
+        assert SWReport.from_json(report.to_json()) == report
+
+    def test_version_stamped(self):
+        assert SWReport("r", 0.0).version == PROTOCOL_VERSION
+
+    def test_rejects_unknown_version(self):
+        bad = '{"round_id": "r", "value": 0.1, "version": 99}'
+        with pytest.raises(ValueError, match="version"):
+            SWReport.from_json(bad)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            SWReport.from_json('{"value": 0.1}')
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            SWReport.from_json('{"round_id": "r", "value": NaN}')
+
+    def test_batch_roundtrip(self, rng):
+        values = rng.random(100)
+        payload = encode_batch("r7", values)
+        decoded = decode_batch(payload, expected_round="r7")
+        np.testing.assert_allclose(decoded, values)
+
+    def test_batch_round_mismatch(self, rng):
+        payload = encode_batch("round-a", rng.random(3))
+        with pytest.raises(ValueError, match="mixed"):
+            decode_batch(payload, expected_round="round-b")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError, match="no reports"):
+            decode_batch("\n\n")
+
+
+class TestClient:
+    def test_single_report_in_domain(self, rng):
+        client = SWClient("r", epsilon=1.0)
+        report = client.report(0.5, rng=rng)
+        low, high = client.mechanism.output_low, client.mechanism.output_high
+        assert low <= report.value <= high
+        assert report.round_id == "r"
+
+    def test_batch_encoding(self, rng):
+        client = SWClient("r", epsilon=1.0)
+        payload = client.report_batch(rng.random(50), rng=rng)
+        assert len(payload.splitlines()) == 50
+
+
+class TestServer:
+    def test_round_mismatch_rejected(self, rng):
+        server = SWServer("round-a", epsilon=1.0, d=32)
+        with pytest.raises(ValueError, match="round"):
+            server.ingest(SWReport("round-b", 0.1))
+
+    def test_estimate_before_reports_raises(self):
+        with pytest.raises(RuntimeError, match="no reports"):
+            SWServer("r", epsilon=1.0, d=32).estimate()
+
+    def test_counts_accumulate(self, rng):
+        client = SWClient("r", epsilon=1.0)
+        server = SWServer("r", epsilon=1.0, d=32)
+        server.ingest_batch(client.report_batch(rng.random(100), rng=rng))
+        server.ingest(client.report(0.3, rng=rng))
+        assert server.n_reports == 101
+
+    def test_streaming_equals_batch(self, beta_values):
+        """Ingesting in many small batches gives the same estimate as one
+        big batch — counts are sufficient statistics."""
+        client = SWClient("r", epsilon=1.0)
+        payloads = [
+            client.report_batch(chunk, rng=np.random.default_rng(i))
+            for i, chunk in enumerate(np.array_split(beta_values, 7))
+        ]
+        streamed = SWServer("r", epsilon=1.0, d=64)
+        for payload in payloads:
+            streamed.ingest_batch(payload)
+        batched = SWServer("r", epsilon=1.0, d=64)
+        batched.ingest_batch("\n".join(payloads))
+        np.testing.assert_allclose(streamed.estimate(), batched.estimate())
+
+    def test_end_to_end_accuracy(self, beta_values):
+        client = SWClient("survey", epsilon=2.0)
+        server = SWServer("survey", epsilon=2.0, d=64)
+        server.ingest_batch(client.report_batch(beta_values, rng=np.random.default_rng(0)))
+        estimate = server.estimate()
+        truth = np.bincount(
+            np.minimum((beta_values * 64).astype(int), 63), minlength=64
+        ) / beta_values.size
+        assert wasserstein_distance(truth, estimate) < 0.02
+
+    def test_mid_round_estimates_improve(self, beta_values):
+        """An estimate after 20x more reports is better, mid-round."""
+        client = SWClient("r", epsilon=1.0)
+        server = SWServer("r", epsilon=1.0, d=64)
+        truth = np.bincount(
+            np.minimum((beta_values * 64).astype(int), 63), minlength=64
+        ) / beta_values.size
+        server.ingest_batch(
+            client.report_batch(beta_values[:1000], rng=np.random.default_rng(1))
+        )
+        early = wasserstein_distance(truth, server.estimate())
+        server.ingest_batch(
+            client.report_batch(beta_values[1000:], rng=np.random.default_rng(2))
+        )
+        late = wasserstein_distance(truth, server.estimate())
+        assert late < early
+
+    def test_em_mode(self, beta_values, rng):
+        client = SWClient("r", epsilon=1.0)
+        server = SWServer("r", epsilon=1.0, d=32, postprocess="em")
+        server.ingest_batch(client.report_batch(beta_values[:5000], rng=rng))
+        est = server.estimate()
+        assert est.sum() == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import read_histogram_csv, write_values
+from repro.metrics.distances import wasserstein_distance
+from tests.conftest import true_histogram
+
+
+@pytest.fixture()
+def values_file(tmp_path, beta_values):
+    return write_values(beta_values[:10_000], tmp_path / "values.txt")
+
+
+class TestPrivatizeAggregate:
+    def test_full_round(self, tmp_path, values_file, beta_values):
+        reports = tmp_path / "reports.jsonl"
+        hist = tmp_path / "hist.csv"
+        assert main([
+            "privatize", "--epsilon", "1.0", "--round-id", "r1",
+            "--input", str(values_file), "--output", str(reports), "--seed", "3",
+        ]) == 0
+        assert main([
+            "aggregate", "--epsilon", "1.0", "--round-id", "r1", "--d", "64",
+            "--input", str(reports), "--output", str(hist),
+        ]) == 0
+        estimate = read_histogram_csv(hist)
+        truth = true_histogram(beta_values[:10_000], 64)
+        assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+        assert wasserstein_distance(truth, estimate) < 0.05
+
+    def test_round_mismatch_fails_cleanly(self, tmp_path, values_file, capsys):
+        reports = tmp_path / "reports.jsonl"
+        main([
+            "privatize", "--epsilon", "1.0", "--round-id", "a",
+            "--input", str(values_file), "--output", str(reports),
+        ])
+        code = main([
+            "aggregate", "--epsilon", "1.0", "--round-id", "b", "--d", "64",
+            "--input", str(reports), "--output", str(tmp_path / "h.csv"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("method", ["sw-ems", "cfo-16"])
+    def test_methods(self, tmp_path, values_file, method):
+        out = tmp_path / "hist.csv"
+        assert main([
+            "estimate", "--epsilon", "1.0", "--d", "64", "--method", method,
+            "--input", str(values_file), "--output", str(out), "--seed", "1",
+        ]) == 0
+        assert read_histogram_csv(out).sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_unknown_method_fails(self, tmp_path, values_file):
+        code = main([
+            "estimate", "--epsilon", "1.0", "--method", "magic",
+            "--input", str(values_file), "--output", str(tmp_path / "h.csv"),
+        ])
+        assert code == 2
+
+    def test_missing_input_fails(self, tmp_path):
+        code = main([
+            "estimate", "--epsilon", "1.0",
+            "--input", str(tmp_path / "nope.txt"), "--output", str(tmp_path / "h.csv"),
+        ])
+        assert code == 2
+
+
+class TestAuditAndPlan:
+    @pytest.mark.parametrize("shape", ["square", "triangle", "cosine", "epanechnikov"])
+    def test_audit_passes(self, shape, capsys):
+        assert main(["audit", "--shape", shape, "--epsilon", "1.0"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_plan_output(self, capsys):
+        assert main(["plan", "--epsilon", "1.0", "--target-std", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "users" in out

@@ -1,0 +1,81 @@
+"""Tests for file I/O helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SWEstimator
+from repro.io import (
+    load_estimator_config,
+    read_histogram_csv,
+    read_values,
+    save_estimator_config,
+    write_histogram_csv,
+    write_values,
+)
+
+
+class TestValuesIO:
+    def test_roundtrip(self, tmp_path, rng):
+        values = rng.random(100)
+        path = write_values(values, tmp_path / "v.txt")
+        np.testing.assert_allclose(read_values(path), values, rtol=1e-10)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "v.txt"
+        path.write_text("# header\n0.5\n\n0.25\n")
+        np.testing.assert_allclose(read_values(path), [0.5, 0.25])
+
+    def test_bad_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "v.txt"
+        path.write_text("0.5\nbanana\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_values(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "v.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no values"):
+            read_values(path)
+
+
+class TestHistogramIO:
+    def test_roundtrip(self, tmp_path, rng):
+        hist = rng.dirichlet(np.ones(16))
+        path = write_histogram_csv(hist, tmp_path / "h.csv")
+        np.testing.assert_allclose(read_histogram_csv(path), hist, rtol=1e-9)
+
+    def test_edges_cover_unit_interval(self, tmp_path):
+        path = write_histogram_csv(np.array([0.5, 0.5]), tmp_path / "h.csv")
+        text = path.read_text().splitlines()
+        assert text[1].startswith("0,0,0.5,")
+        assert text[2].startswith("1,0.5,1,")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_histogram_csv(np.array([]), tmp_path / "h.csv")
+
+
+class TestEstimatorConfig:
+    def test_roundtrip_preserves_parameters(self, tmp_path):
+        original = SWEstimator(1.5, d=128, b=0.2, postprocess="em", max_iter=500)
+        path = save_estimator_config(original, tmp_path / "est.json")
+        restored = load_estimator_config(path)
+        assert restored.epsilon == original.epsilon
+        assert restored.mechanism.b == original.mechanism.b
+        assert restored.d == original.d
+        assert restored.postprocess == original.postprocess
+        assert restored.max_iter == original.max_iter
+
+    def test_restored_estimator_identical_matrix(self, tmp_path):
+        original = SWEstimator(1.0, d=32)
+        path = save_estimator_config(original, tmp_path / "est.json")
+        restored = load_estimator_config(path)
+        np.testing.assert_array_equal(
+            original.transition_matrix, restored.transition_matrix
+        )
+
+    def test_wrong_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"type": "Other"}')
+        with pytest.raises(ValueError, match="not an SWEstimator"):
+            load_estimator_config(path)

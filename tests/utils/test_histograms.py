@@ -1,0 +1,127 @@
+"""Unit and property tests for histogram helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.histograms import (
+    bucketize,
+    histogram_cdf,
+    histogram_mean,
+    histogram_quantile,
+    histogram_variance,
+    normalize_counts,
+    uniform_bucket_midpoints,
+)
+
+
+class TestBucketize:
+    def test_basic_mapping(self):
+        out = bucketize(np.array([0.0, 0.25, 0.5, 0.75]), 4)
+        np.testing.assert_array_equal(out, [0, 1, 2, 3])
+
+    def test_one_lands_in_last_bucket(self):
+        assert bucketize(np.array([1.0]), 10)[0] == 9
+
+    def test_bucket_edges_go_right(self):
+        # 0.5 is the left edge of bucket 1 when d=2.
+        assert bucketize(np.array([0.5]), 2)[0] == 1
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 50),
+            elements=st.floats(0.0, 1.0),
+        ),
+        st.integers(2, 128),
+    )
+    def test_always_in_range(self, values, d):
+        out = bucketize(values, d)
+        assert out.min() >= 0 and out.max() < d
+
+
+class TestNormalizeCounts:
+    def test_sums_to_one(self):
+        out = normalize_counts(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_zero_total_gives_uniform(self):
+        np.testing.assert_allclose(normalize_counts(np.zeros(4)), 0.25)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalize_counts(np.array([-1.0, 2.0]))
+
+
+class TestMidpoints:
+    def test_values(self):
+        np.testing.assert_allclose(uniform_bucket_midpoints(4), [0.125, 0.375, 0.625, 0.875])
+
+    def test_symmetric_around_half(self):
+        mids = uniform_bucket_midpoints(17)
+        np.testing.assert_allclose(mids + mids[::-1], 1.0)
+
+
+class TestStatistics:
+    def test_cdf_monotone(self):
+        cdf = histogram_cdf(np.array([0.2, 0.3, 0.5]))
+        np.testing.assert_allclose(cdf, [0.2, 0.5, 1.0])
+
+    def test_mean_uniform_is_half(self):
+        assert histogram_mean(np.full(10, 0.1)) == pytest.approx(0.5)
+
+    def test_mean_point_mass(self):
+        x = np.zeros(10)
+        x[0] = 1.0
+        assert histogram_mean(x) == pytest.approx(0.05)
+
+    def test_variance_point_mass_is_zero(self):
+        x = np.zeros(8)
+        x[3] = 1.0
+        assert histogram_variance(x) == pytest.approx(0.0)
+
+    def test_variance_uniform(self):
+        # Discrete uniform on midpoints approximates 1/12.
+        var = histogram_variance(np.full(1000, 1e-3))
+        assert var == pytest.approx(1.0 / 12.0, rel=1e-4)
+
+    def test_variance_matches_numpy_weighted(self):
+        x = np.array([0.1, 0.2, 0.3, 0.4])
+        mids = uniform_bucket_midpoints(4)
+        expected = np.average((mids - np.average(mids, weights=x)) ** 2, weights=x)
+        assert histogram_variance(x) == pytest.approx(expected)
+
+
+class TestQuantile:
+    def test_median_of_uniform(self):
+        assert histogram_quantile(np.full(10, 0.1), 0.5) == pytest.approx(0.5)
+
+    def test_beta_zero_returns_zero(self):
+        assert histogram_quantile(np.array([0.5, 0.5]), 0.0) == 0.0
+
+    def test_beta_one_returns_one(self):
+        assert histogram_quantile(np.array([0.5, 0.5]), 1.0) == 1.0
+
+    def test_point_mass_quantiles(self):
+        x = np.zeros(4)
+        x[2] = 1.0  # all mass in [0.5, 0.75)
+        assert histogram_quantile(x, 0.5) == pytest.approx(0.5)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(np.array([1.0]), 1.5)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 40), elements=st.floats(0.0, 1.0)),
+        st.floats(0.0, 1.0),
+    )
+    def test_quantile_monotone_in_beta(self, raw, beta):
+        total = raw.sum()
+        if total == 0:
+            return
+        x = raw / total
+        smaller = histogram_quantile(x, beta / 2.0)
+        larger = histogram_quantile(x, beta)
+        assert smaller <= larger

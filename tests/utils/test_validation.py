@@ -1,0 +1,89 @@
+"""Unit tests for argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_domain_size,
+    check_epsilon,
+    check_probability_vector,
+    check_unit_values,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(1.0) == 1.0
+
+    def test_accepts_integer(self):
+        assert check_epsilon(2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            check_epsilon(bad)
+
+
+class TestCheckDomainSize:
+    def test_accepts_int(self):
+        assert check_domain_size(16) == 16
+
+    def test_accepts_integral_float(self):
+        assert check_domain_size(16.0) == 16
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_domain_size(16.5)
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_domain_size(1)
+
+    def test_custom_minimum(self):
+        assert check_domain_size(1, minimum=1) == 1
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="bins"):
+            check_domain_size(0, name="bins")
+
+
+class TestCheckUnitValues:
+    def test_accepts_unit_interval(self):
+        out = check_unit_values(np.array([0.0, 0.5, 1.0]))
+        assert out.dtype == np.float64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_unit_values(np.array([0.5, 1.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_unit_values(np.array([-0.1, 0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_unit_values(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_unit_values(np.zeros((3, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_unit_values(np.array([0.1, np.nan]))
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_simplex(self):
+        check_probability_vector(np.array([0.25, 0.25, 0.5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_probability_vector(np.array([-0.1, 0.6, 0.5]))
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector(np.array([0.3, 0.3]))
+
+    def test_tolerance_respected(self):
+        check_probability_vector(np.array([0.5, 0.5 + 1e-8]))
