@@ -24,6 +24,16 @@ from repro.analysis import (
     required_population,
     sw_exact_mutual_information,
 )
+from repro.api import (
+    EMConfig,
+    Estimator,
+    EstimatorSpec,
+    Mechanism,
+    estimator_from_state,
+    list_estimators,
+    make_estimator,
+    register_estimator,
+)
 from repro.binning import CFOBinning
 from repro.core.confidence import ConfidenceBands, estimator_confidence_bands
 from repro.core.waves import ALL_WAVE_SHAPES, CosineWave, EpanechnikovWave, make_wave
@@ -42,6 +52,7 @@ from repro.freq_oracle import GRR, HRR, OLH, choose_oracle
 from repro.hierarchy import HHADMM, HaarHRR, HierarchicalHistogram
 from repro.mean import (
     PiecewiseMechanism,
+    ScalarMeanEstimator,
     StochasticRounding,
     estimate_mean_unit,
     estimate_variance_unit,
@@ -62,6 +73,15 @@ from repro.protocol import SWClient, SWServer
 __version__ = "1.0.0"
 
 __all__ = [
+    "Estimator",
+    "Mechanism",
+    "EMConfig",
+    "EstimatorSpec",
+    "make_estimator",
+    "list_estimators",
+    "register_estimator",
+    "estimator_from_state",
+    "ScalarMeanEstimator",
     "SWEstimator",
     "DiscreteSWEstimator",
     "WaveEstimator",

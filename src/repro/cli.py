@@ -67,14 +67,81 @@ def _cmd_aggregate(args) -> int:
     return 0
 
 
-def _cmd_estimate(args) -> int:
-    from repro.experiments.methods import make_method
+def _print_method_table() -> None:
+    from repro.api.registry import list_estimators
 
+    specs = list_estimators()
+    name_w = max(len(s.name) for s in specs)
+    kind_w = max(len(s.kind) for s in specs)
+    header = (
+        f"{'method':<{name_w}}  {'kind':<{kind_w}}  stream  merge  description"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        print(
+            f"{spec.name:<{name_w}}  {spec.kind:<{kind_w}}  "
+            f"{'yes' if spec.streaming else 'no ':<6}  "
+            f"{'yes' if spec.mergeable else 'no ':<5}  {spec.description}"
+        )
+
+
+def _cmd_estimate(args) -> int:
+    from repro.api.registry import get_spec, make_estimator
+
+    if args.list_methods:
+        _print_method_table()
+        return 0
+    missing = [
+        flag
+        for flag, value in (
+            ("--epsilon", args.epsilon),
+            ("--input", args.input),
+            ("--output", args.output),
+        )
+        if value is None
+    ]
+    if missing:
+        print(
+            f"error: {', '.join(missing)} required (or use --list-methods)",
+            file=sys.stderr,
+        )
+        return 2
+
+    spec = get_spec(args.method)
+    if spec.kind == "marginals":
+        print(
+            f"error: {args.method} needs an (n, k) value matrix; "
+            "use the repro.MultiAttributeSW API directly",
+            file=sys.stderr,
+        )
+        return 2
     values = io.read_values(args.input)
-    method = make_method(args.method, args.epsilon, args.d)
-    histogram = method.fit(values, rng=np.random.default_rng(args.seed))
+    estimator = make_estimator(args.method, args.epsilon, args.d)
+    rng = np.random.default_rng(args.seed)
+
+    if spec.kind == "scalar":
+        mean = estimator.fit(values, rng=rng)
+        with open(args.output, "w") as handle:
+            handle.write(f"statistic,value\nmean,{mean:.10g}\n")
+        print(f"estimated mean {mean:.6f} with {args.method}; wrote {args.output}")
+        return 0
+
+    if spec.kind == "frequency":
+        from repro.utils.histograms import bucketize
+
+        histogram = estimator.fit(bucketize(values, args.d), rng=rng)
+    else:
+        histogram = estimator.fit(values, rng=rng)
     io.write_histogram_csv(histogram, args.output)
-    print(f"estimated {args.d}-bucket histogram with {args.method}; wrote {args.output}")
+    # Leaf-signed and frequency estimates are unbiased but can carry
+    # negative mass — say so instead of calling them histograms.
+    what = {
+        "distribution": f"{args.d}-bucket histogram",
+        "leaf-signed": f"{args.d}-bucket signed leaf estimate (may contain negatives)",
+        "frequency": f"{args.d}-bucket signed frequency estimate (may contain negatives)",
+    }[spec.kind]
+    print(f"estimated {what} with {args.method}; wrote {args.output}")
     return 0
 
 
@@ -126,16 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_aggregate)
 
     p = sub.add_parser("estimate", help="privatize + aggregate in one step")
-    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--epsilon", type=float, default=None)
     p.add_argument("--d", type=int, default=1024)
     p.add_argument(
         "--method",
         default="sw-ems",
-        help="sw-ems, sw-em, hh-admm, cfo-16/32/64, hh, haar-hrr",
+        help="any registered estimator (see --list-methods)",
     )
-    p.add_argument("--input", required=True)
-    p.add_argument("--output", required=True)
+    p.add_argument("--input", default=None)
+    p.add_argument("--output", default=None)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="print the estimator registry table and exit",
+    )
     p.set_defaults(fn=_cmd_estimate)
 
     p = sub.add_parser("audit", help="numerically audit a wave mechanism's LDP")

@@ -24,15 +24,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.config import DEFAULT_MAX_ITER
 from repro.core.smoothing import binomial_kernel, smooth
 
-__all__ = ["EMResult", "expectation_maximization", "em_reconstruct", "ems_reconstruct"]
+__all__ = [
+    "EMResult",
+    "DEFAULT_MAX_ITER",
+    "expectation_maximization",
+    "em_reconstruct",
+    "ems_reconstruct",
+]
 
 #: Floor applied to predicted report probabilities before dividing/logging.
 _DENSITY_FLOOR = 1e-300
-
-#: Default iteration cap; generous because EMS steps are O(d * d_out) each.
-DEFAULT_MAX_ITER = 10_000
 
 
 @dataclass(frozen=True)

@@ -197,6 +197,10 @@ class GeneralWave:
             return sw_transition_matrix((self.peak, self.q), self.b, d, d_out)
         return quadrature_transition_matrix(self.bump_cdf, self.q, self.b, d, d_out)
 
+    def _params(self) -> dict:
+        """Constructor kwargs for serialization (``repro.api`` state files)."""
+        return {"epsilon": self.epsilon, "b": self.b, "ratio": self.ratio}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GeneralWave(epsilon={self.epsilon}, b={self.b:.4f}, "

@@ -6,6 +6,11 @@ EMS reconstruction. ``WaveEstimator`` accepts any wave mechanism (used by the
 Figure 5 wave-shape study), and ``DiscreteSWEstimator`` is the
 "bucketize before randomize" variant from Section 5.4.
 
+All three implement the :class:`repro.api.Estimator` contract: the
+aggregation state is the O(d_out) report-count vector, so shards can
+``partial_fit`` independently, ``merge`` exactly, and serialize through
+``to_state()``/``from_state()``.
+
 Typical usage::
 
     est = SWEstimator(epsilon=1.0, d=256)
@@ -14,33 +19,27 @@ Typical usage::
     # Or split across trust boundaries:
     reports = est.privatize(values)      # client side
     histogram = est.aggregate(reports)   # server side
+
+    # Or stream shards and estimate mid-round:
+    est.partial_fit(values_monday)
+    est.partial_fit(values_tuesday)
+    histogram = est.estimate()
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
-from repro.core.em import DEFAULT_MAX_ITER, EMResult, expectation_maximization
-from repro.core.general_wave import GeneralWave
-from repro.core.smoothing import binomial_kernel
+from repro.api.base import Estimator, mechanism_spec
+from repro.api.config import DEFAULT_MAX_ITER, EMConfig
+from repro.core.em import EMResult
 from repro.core.square_wave import DiscreteSquareWave, SquareWave
 from repro.utils.validation import check_domain_size
 
 __all__ = ["WaveEstimator", "SWEstimator", "DiscreteSWEstimator", "estimate_distribution"]
 
-_POSTPROCESS_CHOICES = ("ems", "em")
 
-
-def _default_tolerance(postprocess: str, epsilon: float) -> float:
-    """Paper Section 6.1: ``1e-3 * e^eps`` for EM, fixed ``1e-3`` for EMS."""
-    if postprocess == "em":
-        return 1e-3 * math.exp(epsilon)
-    return 1e-3
-
-
-class WaveEstimator:
+class WaveEstimator(Estimator):
     """Distribution estimator around any continuous wave mechanism.
 
     Parameters
@@ -53,15 +52,16 @@ class WaveEstimator:
     d_out:
         Report bucket count; defaults to ``d`` (the paper's choice, close to
         the ``sqrt(N)`` guideline for its datasets).
-    postprocess:
-        ``"ems"`` (default) or ``"em"``.
-    tol, max_iter, smoothing_order:
+    postprocess, tol, max_iter, smoothing_order:
         EM/EMS controls; ``tol=None`` selects the paper default for the
-        chosen post-processing.
+        chosen post-processing. Equivalently pass a pre-built ``config``
+        (:class:`repro.api.EMConfig`), which takes precedence.
 
-    After :meth:`fit` or :meth:`aggregate`, the EM diagnostics are available
-    as :attr:`result_`.
+    After :meth:`fit`, :meth:`aggregate`, or :meth:`estimate`, the EM
+    diagnostics are available as :attr:`result_`.
     """
+
+    kind = "distribution"
 
     def __init__(
         self,
@@ -73,58 +73,140 @@ class WaveEstimator:
         tol: float | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         smoothing_order: int = 2,
+        config: EMConfig | None = None,
     ) -> None:
-        if postprocess not in _POSTPROCESS_CHOICES:
-            raise ValueError(
-                f"postprocess must be one of {_POSTPROCESS_CHOICES}, got {postprocess!r}"
+        if config is None:
+            config = EMConfig(
+                postprocess=postprocess,
+                tol=tol,
+                max_iter=max_iter,
+                smoothing_order=smoothing_order,
             )
         self.mechanism = mechanism
         self.d = check_domain_size(d)
         self.d_out = self.d if d_out is None else check_domain_size(d_out)
-        self.postprocess = postprocess
-        self.tol = _default_tolerance(postprocess, mechanism.epsilon) if tol is None else float(tol)
-        self.max_iter = int(max_iter)
-        self.smoothing_order = int(smoothing_order)
+        self.config = config
         self._matrix: np.ndarray | None = None
         self.result_: EMResult | None = None
+        self.reset()
 
+    # -- configuration views (kept as attributes of record) ---------------
     @property
     def epsilon(self) -> float:
         return self.mechanism.epsilon
 
     @property
+    def postprocess(self) -> str:
+        return self.config.postprocess
+
+    @property
+    def tol(self) -> float:
+        """Effective stopping tolerance (always a plain ``float``)."""
+        return self.config.resolve_tolerance(self.epsilon)
+
+    @property
+    def max_iter(self) -> int:
+        return self.config.max_iter
+
+    @property
+    def smoothing_order(self) -> int:
+        return self.config.smoothing_order
+
+    @property
+    def name(self) -> str:
+        return f"{self.mechanism.name}-{self.config.postprocess}"
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested into the current aggregation state."""
+        return int(round(self._counts.sum()))
+
+    @property
     def transition_matrix(self) -> np.ndarray:
         """The ``(d_out, d)`` matrix, built lazily and cached per estimator."""
         if self._matrix is None:
-            self._matrix = self.mechanism.transition_matrix(self.d, self.d_out)
+            self._matrix = self._build_matrix()
         return self._matrix
 
+    def _build_matrix(self) -> np.ndarray:
+        return self.mechanism.transition_matrix(self.d, self.d_out)
+
+    # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
         """Client-side: randomize raw values in ``[0, 1]`` into reports."""
         return self.mechanism.privatize(values, rng=rng)
 
-    def aggregate(self, reports: np.ndarray) -> np.ndarray:
-        """Server-side: bucketize reports and reconstruct the histogram."""
-        counts = self.mechanism.bucketize_reports(reports, self.d_out)
-        return self.aggregate_counts(counts)
+    def _bucketize(self, reports: np.ndarray) -> np.ndarray:
+        return self.mechanism.bucketize_reports(reports, self.d_out)
 
-    def aggregate_counts(self, counts: np.ndarray) -> np.ndarray:
-        """Reconstruct from an already-bucketized report histogram."""
-        kernel = (
-            binomial_kernel(self.smoothing_order) if self.postprocess == "ems" else None
-        )
-        self.result_ = expectation_maximization(
-            self.transition_matrix,
-            counts,
-            tol=self.tol,
-            max_iter=self.max_iter,
-            smoothing_kernel=kernel,
+    def ingest(self, reports: np.ndarray) -> None:
+        """Server-side: fold randomized reports into the count vector.
+
+        An empty batch is a no-op (a shard with no users is routine in
+        distributed collection).
+        """
+        if np.asarray(reports).size == 0:
+            return
+        self._counts += self._bucketize(reports)
+
+    def ingest_counts(self, counts: np.ndarray) -> None:
+        """Fold an already-bucketized report histogram into the state."""
+        arr = np.asarray(counts, dtype=np.float64)
+        if arr.shape != (self.d_out,):
+            raise ValueError(
+                f"counts must have shape ({self.d_out},), got {arr.shape}"
+            )
+        if arr.min() < 0:
+            raise ValueError("counts must be non-negative")
+        self._counts += arr
+
+    def estimate(self) -> np.ndarray:
+        """Reconstruct the input histogram from all reports ingested so far."""
+        if self._counts.sum() <= 0:
+            raise RuntimeError("no reports ingested yet")
+        self.result_ = self.config.run(
+            self.transition_matrix, self._counts, self.epsilon
         )
         return self.result_.estimate
 
-    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
-        """Simulate the whole collection round and return the histogram."""
-        return self.aggregate(self.privatize(values, rng=rng))
+    def reset(self) -> None:
+        self._counts = np.zeros(self.d_out, dtype=np.float64)
+        self.result_ = None
+
+    def aggregate_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Reconstruct from one report histogram (resets prior state)."""
+        self.reset()
+        self.ingest_counts(counts)
+        return self.estimate()
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "WaveEstimator") -> None:
+        self._counts += other._counts
+        self.result_ = None
+
+    def _params(self) -> dict:
+        return {
+            "mechanism": mechanism_spec(self.mechanism),
+            "d": self.d,
+            "d_out": self.d_out,
+            **self.config.to_dict(),
+        }
+
+    def _state(self) -> dict:
+        return {"counts": self._counts.tolist()}
+
+    def _load_state(self, state: dict) -> None:
+        self.reset()
+        self.ingest_counts(state["counts"])
+
+    def _repr_fields(self) -> dict:
+        return {
+            "mechanism": self.mechanism,
+            "d": self.d,
+            "d_out": self.d_out,
+            "postprocess": self.postprocess,
+            "tol": self.tol,
+        }
 
 
 class SWEstimator(WaveEstimator):
@@ -143,13 +225,35 @@ class SWEstimator(WaveEstimator):
     ) -> None:
         super().__init__(SquareWave(epsilon, b=b), d, **kwargs)
 
+    @property
+    def b(self) -> float:
+        return self.mechanism.b
 
-class DiscreteSWEstimator:
+    def _params(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "b": self.mechanism.b,
+            "d": self.d,
+            "d_out": self.d_out,
+            **self.config.to_dict(),
+        }
+
+    def _repr_fields(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "d": self.d,
+            "d_out": self.d_out,
+            "postprocess": self.postprocess,
+            "b": round(self.b, 6),
+        }
+
+
+class DiscreteSWEstimator(WaveEstimator):
     """Discrete SW + EM/EMS — "bucketize before randomize" (Section 5.4).
 
-    Users bucketize their value into ``{0..d-1}`` first; randomization happens
-    on the discrete domain. Interface mirrors :class:`WaveEstimator` except
-    reports are integers.
+    Users bucketize their value into ``{0..d-1}`` first; randomization
+    happens on the discrete domain, so reports are integers over the
+    ``d + 2b`` extended output positions.
     """
 
     def __init__(
@@ -158,33 +262,14 @@ class DiscreteSWEstimator:
         d: int = 1024,
         *,
         b: int | None = None,
-        postprocess: str = "ems",
-        tol: float | None = None,
-        max_iter: int = DEFAULT_MAX_ITER,
-        smoothing_order: int = 2,
+        **kwargs,
     ) -> None:
-        if postprocess not in _POSTPROCESS_CHOICES:
-            raise ValueError(
-                f"postprocess must be one of {_POSTPROCESS_CHOICES}, got {postprocess!r}"
-            )
-        self.mechanism = DiscreteSquareWave(epsilon, d, b=b)
-        self.d = self.mechanism.d
-        self.postprocess = postprocess
-        self.tol = _default_tolerance(postprocess, self.mechanism.epsilon) if tol is None else float(tol)
-        self.max_iter = int(max_iter)
-        self.smoothing_order = int(smoothing_order)
-        self._matrix: np.ndarray | None = None
-        self.result_: EMResult | None = None
+        mechanism = DiscreteSquareWave(epsilon, d, b=b)
+        super().__init__(mechanism, mechanism.d, d_out=mechanism.d_out, **kwargs)
 
     @property
-    def epsilon(self) -> float:
-        return self.mechanism.epsilon
-
-    @property
-    def transition_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = self.mechanism.transition_matrix()
-        return self._matrix
+    def b(self) -> int:
+        return self.mechanism.b
 
     def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
         """Client-side: bucketize unit values, then discrete-SW randomize."""
@@ -193,22 +278,27 @@ class DiscreteSWEstimator:
         buckets = bucketize(values, self.d)
         return self.mechanism.privatize(buckets, rng=rng)
 
-    def aggregate(self, reports: np.ndarray) -> np.ndarray:
-        counts = self.mechanism.bucketize_reports(reports)
-        kernel = (
-            binomial_kernel(self.smoothing_order) if self.postprocess == "ems" else None
-        )
-        self.result_ = expectation_maximization(
-            self.transition_matrix,
-            counts,
-            tol=self.tol,
-            max_iter=self.max_iter,
-            smoothing_kernel=kernel,
-        )
-        return self.result_.estimate
+    def _bucketize(self, reports: np.ndarray) -> np.ndarray:
+        return self.mechanism.bucketize_reports(reports)
 
-    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
-        return self.aggregate(self.privatize(values, rng=rng))
+    def _build_matrix(self) -> np.ndarray:
+        return self.mechanism.transition_matrix()
+
+    def _params(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "d": self.d,
+            "b": self.mechanism.b,
+            **self.config.to_dict(),
+        }
+
+    def _repr_fields(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "d": self.d,
+            "postprocess": self.postprocess,
+            "b": self.b,
+        }
 
 
 def estimate_distribution(
@@ -220,7 +310,7 @@ def estimate_distribution(
     rng=None,
     **kwargs,
 ) -> np.ndarray:
-    """One-call distribution estimation.
+    """One-call distribution estimation through the central registry.
 
     Parameters
     ----------
@@ -231,19 +321,27 @@ def estimate_distribution(
     d:
         Histogram granularity.
     method:
-        ``"sw-ems"`` (paper default), ``"sw-em"``, or ``"sw-discrete-ems"``.
+        Any registered distribution method (``"sw-ems"`` is the paper
+        default; see ``repro.api.list_estimators`` for the full set).
     kwargs:
-        Forwarded to the underlying estimator.
+        Forwarded to the underlying estimator factory.
     """
-    if method == "sw-ems":
-        estimator = SWEstimator(epsilon, d, postprocess="ems", **kwargs)
-    elif method == "sw-em":
-        estimator = SWEstimator(epsilon, d, postprocess="em", **kwargs)
-    elif method == "sw-discrete-ems":
-        estimator = DiscreteSWEstimator(epsilon, d, postprocess="ems", **kwargs)
-    else:
-        raise ValueError(
-            "method must be 'sw-ems', 'sw-em', or 'sw-discrete-ems', "
-            f"got {method!r}"
+    from repro.api.registry import get_spec, list_estimators, make_estimator
+
+    try:
+        spec = get_spec(method)
+    except ValueError:
+        available = sorted(
+            s.name for s in list_estimators(kind="distribution")
         )
+        raise ValueError(
+            f"unknown method {method!r}; registered methods: {available}"
+        ) from None
+    if spec.kind != "distribution":
+        raise ValueError(
+            f"method {method!r} estimates a {spec.kind}, not a probability "
+            "distribution; use make_estimator for leaf-signed/frequency/"
+            "scalar methods"
+        )
+    estimator = make_estimator(method, epsilon, d, **kwargs)
     return estimator.fit(values, rng=rng)

@@ -111,6 +111,10 @@ class SquareWave:
         d_out = d if d_out is None else check_domain_size(d_out)
         return sw_transition_matrix((self.p, self.q), self.b, d, d_out)
 
+    def _params(self) -> dict:
+        """Constructor kwargs for serialization (``repro.api`` state files)."""
+        return {"epsilon": self.epsilon, "b": self.b}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SquareWave(epsilon={self.epsilon}, b={self.b:.4f})"
 
@@ -176,6 +180,10 @@ class DiscreteSquareWave:
     def transition_matrix(self) -> np.ndarray:
         """Exact ``(d + 2b, d)`` transition matrix (columns sum to 1)."""
         return discrete_sw_transition_matrix(self.p, self.q, self.b, self.d)
+
+    def _params(self) -> dict:
+        """Constructor kwargs for serialization (``repro.api`` state files)."""
+        return {"epsilon": self.epsilon, "d": self.d, "b": self.b}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DiscreteSquareWave(epsilon={self.epsilon}, d={self.d}, b={self.b})"

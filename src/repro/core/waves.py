@@ -137,6 +137,13 @@ class SmoothWave:
         d_out = d if d_out is None else check_domain_size(d_out)
         return quadrature_transition_matrix(self.bump_cdf, self.q, self.b, d, d_out)
 
+    def _params(self) -> dict:
+        """Constructor kwargs for serialization (``repro.api`` state files)."""
+        return {"epsilon": self.epsilon, "b": self.b}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(epsilon={self.epsilon}, b={self.b:.4f})"
+
 
 class CosineWave(SmoothWave):
     """Raised-cosine wave: ``bump(z) = H (1 + cos(pi z / b)) / 2``."""

@@ -1,9 +1,10 @@
-"""Method registry for the evaluation (paper Table 2).
+"""Method table for the evaluation (paper Table 2) — a registry view.
 
-Each entry describes one competitor: how to build it, what it returns, and
-which metrics the paper evaluates it on. The registry is the single source
-of truth — the runner consults it to know what to compute, and the Table 2
-benchmark renders it directly.
+This module used to carry its own dispatch table; it is now a thin,
+backwards-compatible view over the central registry
+(:mod:`repro.api.registry`). Entries tagged ``"table2"`` are exactly the
+paper's competitors, and the specs here *are* the registry specs — there is
+no independent table to drift.
 
 Method kinds:
 
@@ -11,146 +12,69 @@ Method kinds:
   metric applies.
 * ``leaf-signed`` — ``fit`` returns unbiased but possibly-negative leaf
   estimates (HH, HaarHRR); only range queries apply.
-* ``scalar`` — SR/PM; only mean and variance apply, computed directly from
-  reports rather than from a reconstructed histogram.
+* ``scalar`` — SR/PM; only mean and variance apply. ``fit`` estimates the
+  mean; the paper's two-phase variance protocol lives in
+  :mod:`repro.mean.variance` and is orchestrated by the runner.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import warnings
 
-from repro.binning.cfo_binning import CFOBinning
-from repro.core.pipeline import SWEstimator
-from repro.hierarchy.admm import HHADMM
-from repro.hierarchy.haar import HaarHRR
-from repro.hierarchy.hh import HierarchicalHistogram
+from repro.api.registry import (
+    DISTRIBUTION_METRICS,
+    EstimatorSpec,
+    get_spec,
+    list_estimators,
+    make_estimator,
+)
 
 __all__ = ["MethodSpec", "METHOD_REGISTRY", "make_method", "DISTRIBUTION_METRICS"]
 
-#: Metrics computable from a reconstructed probability distribution.
-DISTRIBUTION_METRICS: tuple[str, ...] = (
-    "w1",
-    "ks",
-    "range-0.1",
-    "range-0.4",
-    "mean",
-    "variance",
-    "quantile",
+#: Back-compat alias — method specs are registry estimator specs.
+MethodSpec = EstimatorSpec
+
+#: The paper's Table 2 row order (presentation only; specs live in the
+#: registry). Rendering code iterates METHOD_REGISTRY and must match it.
+_TABLE2_ORDER: tuple[str, ...] = (
+    "sw-ems",
+    "sw-em",
+    "hh-admm",
+    "cfo-16",
+    "cfo-32",
+    "cfo-64",
+    "hh",
+    "haar-hrr",
+    "sr",
+    "pm",
 )
 
-_RANGE_ONLY: tuple[str, ...] = ("range-0.1", "range-0.4")
-_SCALAR_ONLY: tuple[str, ...] = ("mean", "variance")
-
-
-@dataclass(frozen=True)
-class MethodSpec:
-    """Registry entry for one estimation method."""
-
-    name: str
-    kind: str
-    factory: Callable = field(repr=False)
-    supported_metrics: tuple[str, ...]
-    description: str = ""
-
-    def supports(self, metric: str) -> bool:
-        return metric in self.supported_metrics
-
-
-def _sw(postprocess: str):
-    def factory(epsilon: float, d: int):
-        return SWEstimator(epsilon, d, postprocess=postprocess)
-
-    return factory
-
-
-def _cfo(bins: int):
-    def factory(epsilon: float, d: int):
-        return CFOBinning(epsilon, d, bins=bins)
-
-    return factory
-
-
-METHOD_REGISTRY: dict[str, MethodSpec] = {
-    "sw-ems": MethodSpec(
-        name="sw-ems",
-        kind="distribution",
-        factory=_sw("ems"),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="Square Wave + EM with smoothing (this paper)",
-    ),
-    "sw-em": MethodSpec(
-        name="sw-em",
-        kind="distribution",
-        factory=_sw("em"),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="Square Wave + plain EM (this paper)",
-    ),
-    "hh-admm": MethodSpec(
-        name="hh-admm",
-        kind="distribution",
-        factory=lambda epsilon, d: HHADMM(epsilon, d, branching=4),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="Hierarchical histogram + ADMM post-processing (this paper)",
-    ),
-    "cfo-16": MethodSpec(
-        name="cfo-16",
-        kind="distribution",
-        factory=_cfo(16),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="CFO with 16 bins + Norm-Sub",
-    ),
-    "cfo-32": MethodSpec(
-        name="cfo-32",
-        kind="distribution",
-        factory=_cfo(32),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="CFO with 32 bins + Norm-Sub",
-    ),
-    "cfo-64": MethodSpec(
-        name="cfo-64",
-        kind="distribution",
-        factory=_cfo(64),
-        supported_metrics=DISTRIBUTION_METRICS,
-        description="CFO with 64 bins + Norm-Sub",
-    ),
-    "hh": MethodSpec(
-        name="hh",
-        kind="leaf-signed",
-        factory=lambda epsilon, d: HierarchicalHistogram(epsilon, d, branching=4),
-        supported_metrics=_RANGE_ONLY,
-        description="Hierarchical histogram, constrained inference only [18]",
-    ),
-    "haar-hrr": MethodSpec(
-        name="haar-hrr",
-        kind="leaf-signed",
-        factory=lambda epsilon, d: HaarHRR(epsilon, d),
-        supported_metrics=_RANGE_ONLY,
-        description="Discrete Haar transform + Hadamard randomized response [18]",
-    ),
-    "sr": MethodSpec(
-        name="sr",
-        kind="scalar",
-        factory=lambda epsilon, d: ("sr", epsilon),
-        supported_metrics=_SCALAR_ONLY,
-        description="Stochastic Rounding mean/variance estimator [9]",
-    ),
-    "pm": MethodSpec(
-        name="pm",
-        kind="scalar",
-        factory=lambda epsilon, d: ("pm", epsilon),
-        supported_metrics=_SCALAR_ONLY,
-        description="Piecewise Mechanism mean/variance estimator [30]",
-    ),
+#: The paper's Table 2 evaluation matrix, keyed by method name.
+METHOD_REGISTRY: dict[str, EstimatorSpec] = {
+    name: get_spec(name) for name in _TABLE2_ORDER
 }
+
+if set(METHOD_REGISTRY) != {spec.name for spec in list_estimators(tag="table2")}:
+    raise RuntimeError(
+        "Table 2 order list out of sync with the registry's 'table2' tags"
+    )
 
 
 def make_method(name: str, epsilon: float, d: int):
-    """Instantiate a registered method for one (epsilon, granularity)."""
-    try:
-        spec = METHOD_REGISTRY[name]
-    except KeyError:
+    """Instantiate a registered method for one (epsilon, granularity).
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.registry.make_estimator`, kept for
+        the original ``experiments.methods`` surface; new code should call
+        ``make_estimator`` directly (which also accepts non-Table-2 names).
+    """
+    warnings.warn(
+        "make_method is deprecated; use repro.api.make_estimator",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if name not in METHOD_REGISTRY:
         raise ValueError(
             f"unknown method {name!r}; available: {sorted(METHOD_REGISTRY)}"
-        ) from None
-    return spec.factory(epsilon, d)
+        )
+    return make_estimator(name, epsilon, d)

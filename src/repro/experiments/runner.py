@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import make_estimator
 from repro.datasets.registry import load_dataset
 from repro.experiments.methods import METHOD_REGISTRY
 from repro.mean.variance import estimate_mean_unit, estimate_variance_unit
@@ -173,7 +174,11 @@ def run_sweep(config: SweepConfig, dataset=None) -> list[ResultRow]:
         if not wanted:
             continue
         for epsilon in config.epsilons:
-            method = spec.factory(epsilon, d)
+            method = (
+                None
+                if spec.kind == "scalar"  # scalar trials run the two-phase
+                else make_estimator(method_name, epsilon, d)  # protocol below
+            )
             for repeat in range(config.repeats):
                 rng = np.random.default_rng(
                     trial_rng.integers(0, 2**63 - 1)

@@ -10,8 +10,6 @@ from __future__ import annotations
 import math
 
 from repro.freq_oracle.base import FrequencyOracle
-from repro.freq_oracle.grr import GRR
-from repro.freq_oracle.olh import OLH
 from repro.utils.validation import check_domain_size, check_epsilon
 
 __all__ = ["choose_oracle", "best_oracle_name"]
@@ -25,7 +23,7 @@ def best_oracle_name(epsilon: float, d: int) -> str:
 
 
 def choose_oracle(epsilon: float, d: int) -> FrequencyOracle:
-    """Instantiate the lower-variance oracle for this ``(epsilon, d)``."""
-    if best_oracle_name(epsilon, d) == "grr":
-        return GRR(epsilon, d)
-    return OLH(epsilon, d)
+    """Instantiate the lower-variance oracle through the central registry."""
+    from repro.api.registry import make_estimator
+
+    return make_estimator(best_oracle_name(epsilon, d), epsilon, d)

@@ -4,11 +4,17 @@ A frequency oracle (FO) runs in two halves:
 
 * client side — ``privatize`` maps each user's value in ``{0..d-1}`` to a
   randomized report satisfying epsilon-LDP;
-* server side — ``aggregate`` turns the collected reports into *unbiased*
+* server side — ``aggregate`` turns one batch of reports into *unbiased*
   frequency estimates (which may be negative; constraint restoration is a
   separate post-processing step).
 
 ``estimate_from_values`` chains both halves, which is what simulations use.
+
+Frequency oracles implement the full :class:`repro.api.Estimator` lifecycle
+(kind ``"frequency"``): because each batch estimate is an affine function of
+per-report counts, a user-weighted running mean over batches is an *exact*
+sufficient statistic — ``ingest`` accumulates it, ``merge`` combines shards,
+and ``estimate`` returns the combined unbiased frequency vector.
 """
 
 from __future__ import annotations
@@ -18,16 +24,19 @@ from typing import Any
 
 import numpy as np
 
+from repro.api.base import Estimator
 from repro.utils.validation import check_domain_size, check_epsilon
 
 __all__ = ["FrequencyOracle"]
 
 
-class FrequencyOracle(abc.ABC):
+class FrequencyOracle(Estimator):
     """Abstract base class for categorical frequency oracles."""
 
     #: Short protocol name used by registries and reports.
     name: str = "fo"
+
+    kind = "frequency"
 
     #: Smallest usable domain size. HRR overrides this to 1: the top Haar
     #: layer has a single coefficient and degenerates to binary randomized
@@ -37,6 +46,7 @@ class FrequencyOracle(abc.ABC):
     def __init__(self, epsilon: float, d: int) -> None:
         self.epsilon = check_epsilon(epsilon)
         self.d = check_domain_size(d, minimum=self.min_domain)
+        self.reset()
 
     def _check_values(self, values: np.ndarray) -> np.ndarray:
         arr = np.asarray(values)
@@ -60,8 +70,12 @@ class FrequencyOracle(abc.ABC):
         """Randomize a vector of private values into LDP reports."""
 
     @abc.abstractmethod
-    def aggregate(self, reports: Any) -> np.ndarray:
-        """Unbiased frequency estimates (length ``d``) from reports."""
+    def aggregate_batch(self, reports: Any) -> np.ndarray:
+        """Unbiased frequency estimates (length ``d``) from one batch.
+
+        A pure function of the batch (streaming state untouched); raises
+        ``ValueError`` on an empty or malformed batch.
+        """
 
     @property
     @abc.abstractmethod
@@ -73,9 +87,79 @@ class FrequencyOracle(abc.ABC):
         between GRR and OLH.
         """
 
-    def estimate_from_values(self, values: np.ndarray, rng=None) -> np.ndarray:
-        """Privatize then aggregate — one full simulated collection round."""
-        return self.aggregate(self.privatize(values, rng=rng))
+    @staticmethod
+    def _report_count(reports: Any) -> int:
+        """Number of users behind a batch of reports."""
+        n = getattr(reports, "n", None)
+        if n is not None:
+            return int(n)
+        return int(np.asarray(reports).shape[0])
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(epsilon={self.epsilon}, d={self.d})"
+    # -- streaming lifecycle ----------------------------------------------
+    def ingest(self, reports: Any) -> None:
+        """Fold one batch into the user-weighted running estimate.
+
+        An empty batch is a no-op (a shard with no users is routine in
+        distributed collection).
+        """
+        n = self._report_count(reports)
+        if n == 0:
+            return
+        self._weighted += n * self.aggregate_batch(reports)
+        self._n += n
+
+    def aggregate(self, reports: Any) -> np.ndarray:
+        """Unbiased estimates from exactly these reports.
+
+        Follows the :class:`repro.api.Estimator` contract: the streaming
+        state is reset to this batch (so a subsequent ``to_state()`` carries
+        it); the returned vector equals :meth:`aggregate_batch`.
+        """
+        batch = self.aggregate_batch(reports)  # validates before any reset
+        self.reset()
+        n = self._report_count(reports)
+        self._weighted += n * batch
+        self._n += n
+        return batch
+
+    def estimate(self) -> np.ndarray:
+        """Combined unbiased frequency estimate over all ingested batches."""
+        if self._n == 0:
+            raise RuntimeError("no reports ingested yet")
+        return self._weighted / self._n
+
+    def reset(self) -> None:
+        self._n = 0
+        self._weighted = np.zeros(self.d, dtype=np.float64)
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested into the current aggregation state."""
+        return self._n
+
+    def estimate_from_values(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Privatize then aggregate — one full simulated collection round.
+
+        Pure (does not touch the streaming state).
+        """
+        return self.aggregate_batch(self.privatize(values, rng=rng))
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "FrequencyOracle") -> None:
+        self._n += other._n
+        self._weighted += other._weighted
+
+    def _params(self) -> dict:
+        return {"epsilon": self.epsilon, "d": self.d}
+
+    def _state(self) -> dict:
+        return {"n": int(self._n), "weighted": self._weighted.tolist()}
+
+    def _load_state(self, state: dict) -> None:
+        weighted = np.asarray(state["weighted"], dtype=np.float64)
+        if weighted.shape != (self.d,):
+            raise ValueError(
+                f"state 'weighted' must have shape ({self.d},), got {weighted.shape}"
+            )
+        self._n = int(state["n"])
+        self._weighted = weighted

@@ -44,7 +44,7 @@ class GRR(FrequencyOracle):
         reports = np.where(keep, vals, (vals + shift) % self.d)
         return reports.astype(np.int64)
 
-    def aggregate(self, reports: np.ndarray) -> np.ndarray:
+    def aggregate_batch(self, reports: np.ndarray) -> np.ndarray:
         """Unbiased frequencies: ``((C(v)/n) - q) / (p - q)``."""
         arr = np.asarray(reports, dtype=np.int64)
         if arr.ndim != 1 or arr.size == 0:

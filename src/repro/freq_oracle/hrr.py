@@ -118,7 +118,7 @@ class HRR(FrequencyOracle):
         bits = np.where(flip, -true_bits, true_bits)
         return HRRReports(row=rows, bit=bits.astype(np.int64))
 
-    def aggregate(self, reports: HRRReports) -> np.ndarray:
+    def aggregate_batch(self, reports: HRRReports) -> np.ndarray:
         """Unbiased signed-frequency estimates of length ``d``.
 
         Per-row sums give unbiased Hadamard coefficients

@@ -94,10 +94,12 @@ class OLH(FrequencyOracle):
             counts += (hashes == reports.y[start:stop, None]).sum(axis=0)
         return counts
 
-    def aggregate(self, reports: OLHReports) -> np.ndarray:
+    def aggregate_batch(self, reports: OLHReports) -> np.ndarray:
         """Unbiased frequencies ``((C(v)/n) - 1/g) / (p - 1/g)``."""
-        counts = self.support_counts(reports).astype(np.float64)
         n = reports.n
+        if n == 0:
+            raise ValueError("no reports to aggregate")
+        counts = self.support_counts(reports).astype(np.float64)
         return (counts / n - 1.0 / self.g) / (self.p - 1.0 / self.g)
 
     @property
@@ -105,3 +107,6 @@ class OLH(FrequencyOracle):
         """Approximate per-user variance ``4 e^eps / (e^eps - 1)^2`` [34]."""
         e_eps = math.exp(self.epsilon)
         return 4.0 * e_eps / (e_eps - 1) ** 2
+
+    def _params(self) -> dict:
+        return {"epsilon": self.epsilon, "d": self.d, "g": self.g}

@@ -5,6 +5,7 @@ from repro.hierarchy.constrained import NullspaceProjector, consistency_projecti
 from repro.hierarchy.haar import HaarHRR
 from repro.hierarchy.hh import (
     HierarchicalHistogram,
+    TreeReports,
     collect_tree_estimates,
     collect_tree_estimates_budget_split,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "NullspaceProjector",
     "consistency_projection",
     "HierarchicalHistogram",
+    "TreeReports",
     "collect_tree_estimates",
     "collect_tree_estimates_budget_split",
     "HaarHRR",

@@ -24,12 +24,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hierarchy.constrained import NullspaceProjector
-from repro.hierarchy.hh import collect_tree_estimates
+from repro.hierarchy.hh import HierarchicalHistogram
 from repro.hierarchy.tree import TreeLayout
 from repro.postprocess.norm_sub import norm_sub
-from repro.utils.histograms import bucketize
-from repro.utils.rng import as_generator
-from repro.utils.validation import check_epsilon
 
 __all__ = ["HHADMM", "ADMMDiagnostics", "admm_postprocess"]
 
@@ -108,12 +105,14 @@ def admm_postprocess(
     )
 
 
-class HHADMM:
+class HHADMM(HierarchicalHistogram):
     """Hierarchical Histogram with ADMM post-processing.
 
     Same collection round as :class:`~repro.hierarchy.hh.HierarchicalHistogram`
-    (population splitting + adaptive CFO per level); post-processing enforces
-    consistency, non-negativity, and normalization jointly.
+    (population splitting + adaptive CFO per level) — including its streaming
+    ``ingest``/``merge`` state — but post-processing enforces consistency,
+    non-negativity, and normalization jointly, so :meth:`estimate` returns a
+    valid probability distribution.
 
     Parameters
     ----------
@@ -124,6 +123,7 @@ class HHADMM:
     """
 
     name = "hh-admm"
+    kind = "distribution"
 
     def __init__(
         self,
@@ -134,21 +134,17 @@ class HHADMM:
         max_iter: int = 200,
         tol: float = 1e-6,
     ) -> None:
-        self.epsilon = check_epsilon(epsilon)
-        self.tree = TreeLayout(d, branching)
-        self.d = d
+        super().__init__(epsilon, d, branching, split="population")
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self._projector = NullspaceProjector(self.tree)
-        self.node_estimates_: np.ndarray | None = None
         self.diagnostics_: ADMMDiagnostics | None = None
 
-    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
-        """Collect reports for unit-domain ``values``; return the leaf
-        distribution (non-negative, sums to 1)."""
-        gen = as_generator(rng)
-        leaves = bucketize(values, self.d)
-        raw, _ = collect_tree_estimates(self.tree, self.epsilon, leaves, rng=gen)
+    def estimate(self) -> np.ndarray:
+        """Leaf distribution (non-negative, sums to 1) from ingested reports."""
+        if int(self._level_n.sum()) == 0:
+            raise RuntimeError("no reports ingested yet")
+        raw, _ = self._collected()
         x, diag = admm_postprocess(
             self.tree,
             raw,
@@ -162,3 +158,16 @@ class HHADMM:
         # The split variables agree only up to `tol`; a final Norm-Sub makes
         # the returned histogram exactly a probability vector.
         return norm_sub(leaf, total=1.0)
+
+    def reset(self) -> None:
+        super().reset()
+        self.diagnostics_ = None
+
+    def _params(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "d": self.d,
+            "branching": self.branching,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+        }

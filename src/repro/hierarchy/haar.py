@@ -17,13 +17,20 @@ total mass of 1:
 
 Like HH, the estimates are unbiased but can be negative; the paper evaluates
 HaarHRR on range queries only.
+
+``HaarHRR`` implements the :class:`repro.api.Estimator` lifecycle with the
+same linear-state trick as HH: per-height detail estimates are accumulated
+as user-weighted running means, so shards ``ingest``/``merge`` exactly and
+the state serializes via ``to_state()``/``from_state()``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.base import Estimator
 from repro.freq_oracle.hrr import HRR
+from repro.hierarchy.hh import TreeReports
 from repro.utils.histograms import bucketize
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_epsilon
@@ -31,7 +38,7 @@ from repro.utils.validation import check_epsilon
 __all__ = ["HaarHRR"]
 
 
-class HaarHRR:
+class HaarHRR(Estimator):
     """Haar + Hadamard Randomized Response distribution estimator.
 
     Parameters
@@ -43,6 +50,7 @@ class HaarHRR:
     """
 
     name = "haar-hrr"
+    kind = "leaf-signed"
 
     def __init__(self, epsilon: float, d: int = 1024) -> None:
         self.epsilon = check_epsilon(epsilon)
@@ -50,30 +58,60 @@ class HaarHRR:
             raise ValueError(f"d must be a power of two >= 2, got {d}")
         self.d = d
         self.height = d.bit_length() - 1
+        self._oracles: dict[int, HRR] = {}
         self.details_: list[np.ndarray] | None = None
         self.leaf_estimates_: np.ndarray | None = None
+        self.reset()
 
-    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
-        """Collect HRR reports for unit-domain ``values``; estimate leaves."""
+    def _oracle(self, t: int) -> HRR:
+        """The (cached) HRR oracle for the height-``t`` detail layer."""
+        if t not in self._oracles:
+            self._oracles[t] = HRR(self.epsilon, self.d >> t)
+        return self._oracles[t]
+
+    # -- lifecycle ---------------------------------------------------------
+    def privatize(self, values: np.ndarray, rng=None) -> TreeReports:
+        """Client-side: assign users to heights and HRR-randomize details."""
         gen = as_generator(rng)
         leaves = bucketize(values, self.d)
         heights = gen.integers(1, self.height + 1, size=leaves.size)
-
-        # details[t - 1] holds the estimated detail vector of height t
-        # (length d / 2^t).
-        details: list[np.ndarray] = []
+        reports: dict[int, object] = {}
+        counts: dict[int, int] = {}
         for t in range(1, self.height + 1):
             group = leaves[heights == t]
-            width = self.d >> t
             if group.size == 0:
-                details.append(np.zeros(width))
                 continue
             indices = group >> t
             # Left subtree of the height-t ancestor <=> bit (t-1) unset.
             signs = 1 - 2 * ((group >> (t - 1)) & 1)
-            oracle = HRR(self.epsilon, width)
-            reports = oracle.privatize(indices, rng=gen, signs=signs)
-            details.append(oracle.aggregate(reports))
+            reports[t] = self._oracle(t).privatize(indices, rng=gen, signs=signs)
+            counts[t] = int(group.size)
+        return TreeReports(reports=reports, counts=counts)
+
+    def ingest(self, tree_reports: TreeReports) -> None:
+        """Fold one batch into the per-height weighted detail estimates."""
+        for t, height_reports in tree_reports.reports.items():
+            batch = self._oracle(t).aggregate_batch(height_reports)
+            n = tree_reports.counts[t]
+            self._detail_sum[t - 1] += n * batch
+            self._height_n[t - 1] += n
+        # Any cached synthesis is stale now; queries must re-estimate.
+        self.details_ = None
+        self.leaf_estimates_ = None
+
+    def estimate(self) -> np.ndarray:
+        """Leaf estimates via the inverse Haar cascade over ingested state."""
+        if int(self._height_n.sum()) == 0:
+            raise RuntimeError("no reports ingested yet")
+        # details[t - 1] holds the estimated detail vector of height t
+        # (length d / 2^t); heights nobody reported stay at zero detail.
+        details: list[np.ndarray] = []
+        for t in range(1, self.height + 1):
+            n = int(self._height_n[t - 1])
+            if n == 0:
+                details.append(np.zeros(self.d >> t))
+            else:
+                details.append(self._detail_sum[t - 1] / n)
         self.details_ = details
 
         # Inverse Haar cascade from the root mass (exactly 1 under LDP).
@@ -87,6 +125,16 @@ class HaarHRR:
         self.leaf_estimates_ = current
         return current
 
+    def reset(self) -> None:
+        self._detail_sum = [
+            np.zeros(self.d >> t, dtype=np.float64)
+            for t in range(1, self.height + 1)
+        ]
+        self._height_n = np.zeros(self.height, dtype=np.int64)
+        self.details_ = None
+        self.leaf_estimates_ = None
+
+    # -- queries -----------------------------------------------------------
     def range_query(self, low: float, high: float) -> float:
         """Estimated mass in ``[low, high)`` of the unit domain."""
         if self.leaf_estimates_ is None:
@@ -96,3 +144,38 @@ class HaarHRR:
         from repro.metrics.queries import range_query
 
         return range_query(self.leaf_estimates_, low, high - low)
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "HaarHRR") -> None:
+        for i in range(self.height):
+            self._detail_sum[i] += other._detail_sum[i]
+        self._height_n += other._height_n
+        self.details_ = None
+        self.leaf_estimates_ = None
+
+    def _params(self) -> dict:
+        return {"epsilon": self.epsilon, "d": self.d}
+
+    def _state(self) -> dict:
+        return {
+            "detail_sum": [arr.tolist() for arr in self._detail_sum],
+            "height_n": self._height_n.tolist(),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        detail_sum = [
+            np.asarray(arr, dtype=np.float64) for arr in state["detail_sum"]
+        ]
+        height_n = np.asarray(state["height_n"], dtype=np.int64)
+        if len(detail_sum) != self.height or height_n.shape != (self.height,):
+            raise ValueError(f"state does not match a height-{self.height} tree")
+        for t, arr in enumerate(detail_sum, start=1):
+            if arr.shape != (self.d >> t,):
+                raise ValueError(
+                    f"state 'detail_sum[{t - 1}]' must have shape "
+                    f"({self.d >> t},), got {arr.shape}"
+                )
+        self._detail_sum = detail_sum
+        self._height_n = height_n
+        self.details_ = None
+        self.leaf_estimates_ = None

@@ -11,12 +11,24 @@ inference (weighted least squares subject to parent = sum-of-children and
 root = 1) to exploit the redundancy across levels. The consistent leaf level
 is the histogram estimate; range queries decompose into O(branching * log d)
 nodes.
+
+``HierarchicalHistogram`` implements the :class:`repro.api.Estimator`
+lifecycle: ``privatize`` groups users by reporting level into a
+:class:`TreeReports` bundle, ``ingest`` folds each level's oracle estimate
+into a user-weighted running mean (exact, because oracle estimates are
+affine in per-report counts), and ``estimate`` runs constrained inference on
+the accumulated tree. Shards therefore ``merge`` exactly and serialize via
+``to_state()``/``from_state()``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Any
+
 import numpy as np
 
+from repro.api.base import Estimator
 from repro.freq_oracle.adaptive import choose_oracle
 from repro.hierarchy.constrained import consistency_projection
 from repro.hierarchy.tree import TreeLayout, range_decomposition
@@ -25,6 +37,7 @@ from repro.utils.rng import as_generator
 from repro.utils.validation import check_epsilon
 
 __all__ = [
+    "TreeReports",
     "HierarchicalHistogram",
     "collect_tree_estimates",
     "collect_tree_estimates_budget_split",
@@ -33,6 +46,24 @@ __all__ = [
 #: Weight assigned to nodes estimated from zero users (effectively ignored
 #: by the weighted projection, which then infers them from relatives).
 _NEGLIGIBLE_WEIGHT = 1e-12
+
+
+@dataclass(frozen=True)
+class TreeReports:
+    """One batch of hierarchical LDP reports, grouped by level (or height).
+
+    ``reports[level]`` holds the oracle reports of the users assigned to
+    that level; ``counts[level]`` how many users produced them. Levels with
+    no users are simply absent.
+    """
+
+    reports: dict[int, Any] = field(repr=False)
+    counts: dict[int, int]
+
+    @property
+    def n(self) -> int:
+        """Total users behind this batch."""
+        return sum(self.counts.values())
 
 
 def collect_tree_estimates(
@@ -124,7 +155,7 @@ def collect_tree_estimates_budget_split(
     return estimates, weights
 
 
-class HierarchicalHistogram:
+class HierarchicalHistogram(Estimator):
     """HH estimator: CFO reports per level + constrained inference.
 
     Parameters
@@ -148,6 +179,7 @@ class HierarchicalHistogram:
     """
 
     name = "hh"
+    kind = "leaf-signed"
 
     def __init__(
         self,
@@ -161,21 +193,87 @@ class HierarchicalHistogram:
         self.epsilon = check_epsilon(epsilon)
         self.tree = TreeLayout(d, branching)
         self.d = d
+        self.branching = branching
         self.split = split
+        self._oracles: dict[int, Any] = {}
         self.node_estimates_: np.ndarray | None = None
+        self.reset()
 
-    def fit(self, values: np.ndarray, rng=None) -> np.ndarray:
-        """Collect reports for unit-domain ``values`` and estimate leaves."""
+    def _oracle(self, level: int):
+        """The (cached) CFO both sides use for one reporting level."""
+        if level not in self._oracles:
+            epsilon = self.epsilon
+            if self.split == "budget":
+                epsilon = self.epsilon / len(self.tree.reporting_levels)
+            self._oracles[level] = choose_oracle(
+                epsilon, self.tree.level_sizes[level]
+            )
+        return self._oracles[level]
+
+    # -- lifecycle ---------------------------------------------------------
+    def privatize(self, values: np.ndarray, rng=None) -> TreeReports:
+        """Client-side: assign users to levels and CFO-randomize ancestors."""
+        gen = as_generator(rng)
         leaves = bucketize(values, self.d)
-        collector = (
-            collect_tree_estimates
-            if self.split == "population"
-            else collect_tree_estimates_budget_split
-        )
-        raw, weights = collector(self.tree, self.epsilon, leaves, rng=rng)
+        levels = self.tree.reporting_levels
+        reports: dict[int, Any] = {}
+        counts: dict[int, int] = {}
+        if self.split == "population":
+            assignment = gen.integers(0, len(levels), size=leaves.size)
+            for slot, level in enumerate(levels):
+                group = leaves[assignment == slot]
+                if group.size == 0:
+                    continue
+                ancestors = self.tree.ancestor(group, level)
+                reports[level] = self._oracle(level).privatize(ancestors, rng=gen)
+                counts[level] = int(group.size)
+        else:
+            for level in levels:
+                ancestors = self.tree.ancestor(leaves, level)
+                reports[level] = self._oracle(level).privatize(ancestors, rng=gen)
+                counts[level] = int(leaves.size)
+        return TreeReports(reports=reports, counts=counts)
+
+    def ingest(self, tree_reports: TreeReports) -> None:
+        """Fold one batch into the per-level weighted running estimates."""
+        for level, level_reports in tree_reports.reports.items():
+            oracle = self._oracle(level)
+            batch = oracle.aggregate_batch(level_reports)
+            n = tree_reports.counts[level]
+            self._node_sum[self.tree.level_slice(level)] += n * batch
+            self._level_n[level] += n
+        # Any cached inference is stale now; queries must re-estimate.
+        self.node_estimates_ = None
+
+    def _collected(self) -> tuple[np.ndarray, np.ndarray]:
+        """(estimates, weights) node vectors from the streaming state."""
+        estimates = np.zeros(self.tree.total_nodes, dtype=np.float64)
+        weights = np.full(self.tree.total_nodes, _NEGLIGIBLE_WEIGHT)
+        estimates[0] = 1.0  # the root frequency is known exactly under LDP
+        weights[0] = 1.0
+        for level in self.tree.reporting_levels:
+            n = int(self._level_n[level])
+            if n == 0:
+                continue
+            level_slice = self.tree.level_slice(level)
+            estimates[level_slice] = self._node_sum[level_slice] / n
+            weights[level_slice] = n / self._oracle(level).estimate_variance
+        return estimates, weights
+
+    def estimate(self) -> np.ndarray:
+        """Constrained-inference leaf estimates from all ingested batches."""
+        if int(self._level_n.sum()) == 0:
+            raise RuntimeError("no reports ingested yet")
+        raw, weights = self._collected()
         self.node_estimates_ = consistency_projection(self.tree, raw, weights)
         return self.node_estimates_[self.tree.level_slice(self.tree.height)]
 
+    def reset(self) -> None:
+        self._node_sum = np.zeros(self.tree.total_nodes, dtype=np.float64)
+        self._level_n = np.zeros(self.tree.height + 1, dtype=np.int64)
+        self.node_estimates_ = None
+
+    # -- queries -----------------------------------------------------------
     def node_estimate(self, level: int, index: int) -> float:
         """Consistent frequency estimate of one tree node."""
         if self.node_estimates_ is None:
@@ -209,3 +307,40 @@ class HierarchicalHistogram:
         if hi_scaled > hi_full and hi_full < self.d:
             total += leaves[hi_full] * (hi_scaled - hi_full)
         return float(total)
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "HierarchicalHistogram") -> None:
+        self._node_sum += other._node_sum
+        self._level_n += other._level_n
+        self.node_estimates_ = None
+
+    def _params(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "d": self.d,
+            "branching": self.branching,
+            "split": self.split,
+        }
+
+    def _state(self) -> dict:
+        return {
+            "node_sum": self._node_sum.tolist(),
+            "level_n": self._level_n.tolist(),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        node_sum = np.asarray(state["node_sum"], dtype=np.float64)
+        level_n = np.asarray(state["level_n"], dtype=np.int64)
+        if node_sum.shape != (self.tree.total_nodes,):
+            raise ValueError(
+                f"state 'node_sum' must have shape ({self.tree.total_nodes},), "
+                f"got {node_sum.shape}"
+            )
+        if level_n.shape != (self.tree.height + 1,):
+            raise ValueError(
+                f"state 'level_n' must have shape ({self.tree.height + 1},), "
+                f"got {level_n.shape}"
+            )
+        self._node_sum = node_sum
+        self._level_n = level_n
+        self.node_estimates_ = None

@@ -1,6 +1,7 @@
 """Mean/variance estimation baselines: SR and PM (paper Sections 2.2, 6.3)."""
 
 from repro.mean.piecewise import PiecewiseMechanism
+from repro.mean.scalar import ScalarMeanEstimator
 from repro.mean.stochastic_rounding import StochasticRounding
 from repro.mean.variance import (
     estimate_mean_unit,
@@ -11,6 +12,7 @@ from repro.mean.variance import (
 __all__ = [
     "StochasticRounding",
     "PiecewiseMechanism",
+    "ScalarMeanEstimator",
     "make_mechanism",
     "estimate_mean_unit",
     "estimate_variance_unit",

@@ -105,3 +105,6 @@ class PiecewiseMechanism:
     @property
     def output_high(self) -> float:
         return self.s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PiecewiseMechanism(epsilon={self.epsilon}, s={self.s:.4f})"

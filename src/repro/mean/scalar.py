@@ -1,0 +1,102 @@
+"""SR/PM as streaming scalar estimators (registry kind ``"scalar"``).
+
+:class:`ScalarMeanEstimator` adapts the native ``[-1, 1]`` mean mechanisms
+(:class:`~repro.mean.stochastic_rounding.StochasticRounding` and
+:class:`~repro.mean.piecewise.PiecewiseMechanism`) to the package's
+canonical unit domain and to the :class:`repro.api.Estimator` lifecycle.
+The aggregation state is the (count, sum of per-report unbiased values)
+pair, so shards stream, ``merge`` exactly, and serialize — ``fit`` matches
+:func:`repro.mean.variance.estimate_mean_unit` bit for bit.
+
+The paper's two-phase variance protocol stays in
+:mod:`repro.mean.variance`; it needs a broadcast between phases and is
+orchestrated by the experiment runner rather than this single-statistic
+estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.base import Estimator
+from repro.mean.variance import make_mechanism
+from repro.utils.validation import check_unit_values
+
+__all__ = ["ScalarMeanEstimator"]
+
+
+class ScalarMeanEstimator(Estimator):
+    """Streaming LDP mean estimator over the unit domain.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    mechanism:
+        ``"sr"`` (Stochastic Rounding) or ``"pm"`` (Piecewise Mechanism).
+    d:
+        Accepted (and ignored) so the registry's uniform
+        ``factory(epsilon, d)`` signature applies; scalar estimators have no
+        histogram granularity.
+    """
+
+    kind = "scalar"
+
+    def __init__(
+        self, epsilon: float, mechanism: str = "pm", d: int | None = None
+    ) -> None:
+        self.mech = make_mechanism(mechanism, epsilon)
+        self.mechanism_name = str(mechanism)
+        self.epsilon = self.mech.epsilon
+        self.reset()
+
+    @property
+    def name(self) -> str:
+        return self.mechanism_name
+
+    # -- lifecycle ---------------------------------------------------------
+    def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
+        """Client-side: map unit values onto ``[-1, 1]`` and randomize."""
+        vals = check_unit_values(values)
+        return self.mech.privatize(2.0 * vals - 1.0, rng=rng)
+
+    def ingest(self, reports: np.ndarray) -> None:
+        """Fold a batch of reports into the running debiased sum."""
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.size == 0:  # empty shard: no-op
+            return
+        # estimate_mean validates the batch and debiases where the mechanism
+        # needs it (SR), so mean * n is the exact per-report unbiased sum.
+        self._sum += float(self.mech.estimate_mean(arr)) * arr.size
+        self._n += int(arr.size)
+
+    def estimate(self) -> float:
+        """Unit-scale mean estimate over everything ingested so far."""
+        if self._n == 0:
+            raise RuntimeError("no reports ingested yet")
+        signed_mean = self._sum / self._n
+        return float(np.clip((signed_mean + 1.0) / 2.0, 0.0, 1.0))
+
+    def reset(self) -> None:
+        self._n = 0
+        self._sum = 0.0
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested into the current aggregation state."""
+        return self._n
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "ScalarMeanEstimator") -> None:
+        self._n += other._n
+        self._sum += other._sum
+
+    def _params(self) -> dict:
+        return {"epsilon": self.epsilon, "mechanism": self.mechanism_name}
+
+    def _state(self) -> dict:
+        return {"n": int(self._n), "sum": float(self._sum)}
+
+    def _load_state(self, state: dict) -> None:
+        self._n = int(state["n"])
+        self._sum = float(state["sum"])

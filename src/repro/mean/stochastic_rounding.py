@@ -71,3 +71,6 @@ class StochasticRounding:
     def report_bound(self) -> float:
         """Magnitude of a debiased report: ``1 / (p - q)``."""
         return 1.0 / (self.p - self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StochasticRounding(epsilon={self.epsilon})"

@@ -9,7 +9,11 @@ exactly the Section 4.2 reason — LDP noise scales much worse with epsilon
 than estimate counts do with users.
 
 ``MultiAttributeSW`` wraps one Square Wave + EMS estimator per attribute
-behind that splitting strategy and reconstructs every marginal.
+behind that splitting strategy and reconstructs every marginal. It
+implements the :class:`repro.api.Estimator` lifecycle (kind
+``"marginals"``): the aggregation state is the per-attribute count vectors
+of the wrapped estimators, so shards stream, ``merge`` exactly, and
+serialize through ``to_state()``/``from_state()``.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.base import Estimator
 from repro.core.pipeline import SWEstimator
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_domain_size, check_epsilon
@@ -41,7 +46,7 @@ class MultiAttributeReports:
         return int(self.attribute.size)
 
 
-class MultiAttributeSW:
+class MultiAttributeSW(Estimator):
     """SW + EMS marginal estimation over ``k`` numerical attributes.
 
     Parameters
@@ -56,12 +61,16 @@ class MultiAttributeSW:
         Forwarded to each underlying :class:`SWEstimator`.
     """
 
+    name = "sw-multi"
+    kind = "marginals"
+
     def __init__(self, epsilon: float, n_attributes: int, d: int = 256, **kwargs) -> None:
         self.epsilon = check_epsilon(epsilon)
         if n_attributes < 1:
             raise ValueError(f"n_attributes must be >= 1, got {n_attributes}")
         self.n_attributes = int(n_attributes)
         self.d = check_domain_size(d)
+        self._kwargs = dict(kwargs)
         self._estimators = [
             SWEstimator(epsilon, d, **kwargs) for _ in range(self.n_attributes)
         ]
@@ -78,6 +87,7 @@ class MultiAttributeSW:
             raise ValueError("values must be finite and in [0, 1]")
         return arr
 
+    # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None) -> MultiAttributeReports:
         """Assign each user one attribute and randomize that value.
 
@@ -96,25 +106,70 @@ class MultiAttributeSW:
                 reports[mask] = self._estimators[a].privatize(arr[mask, a], rng=gen)
         return MultiAttributeReports(attribute=assignment, value=reports)
 
-    def aggregate(self, reports: MultiAttributeReports) -> list[np.ndarray]:
-        """Reconstruct every attribute's marginal histogram.
+    def ingest(self, reports: MultiAttributeReports) -> None:
+        """Fold one batch into the per-attribute count vectors."""
+        for a, estimator in enumerate(self._estimators):
+            mask = reports.attribute == a
+            estimator.ingest(reports.value[mask])
+
+    def estimate(self) -> list[np.ndarray]:
+        """Reconstruct every attribute's marginal from all ingested reports.
 
         Attributes that received no reports get the uniform fallback (and a
         diagnostic ``result_`` of ``None``).
         """
+        if self.n_reports == 0:
+            raise RuntimeError("no reports ingested yet")
         out: list[np.ndarray] = []
-        for a, estimator in enumerate(self._estimators):
-            mask = reports.attribute == a
-            if not mask.any():
+        for estimator in self._estimators:
+            if estimator.n_reports == 0:
                 estimator.result_ = None
                 out.append(np.full(self.d, 1.0 / self.d))
-                continue
-            out.append(estimator.aggregate(reports.value[mask]))
+            else:
+                out.append(estimator.estimate())
         return out
 
-    def fit(self, values: np.ndarray, rng=None) -> list[np.ndarray]:
-        """Simulate one full multi-attribute collection round."""
-        return self.aggregate(self.privatize(values, rng=rng))
+    def reset(self) -> None:
+        for estimator in self._estimators:
+            estimator.reset()
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested across all attributes."""
+        return sum(estimator.n_reports for estimator in self._estimators)
+
+    # -- shard merge + serialization --------------------------------------
+    def _merge_state(self, other: "MultiAttributeSW") -> None:
+        for mine, theirs in zip(self._estimators, other._estimators):
+            mine.merge(theirs)
+
+    def _params(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "n_attributes": self.n_attributes,
+            "d": self.d,
+            **self._kwargs,
+        }
+
+    def _state(self) -> dict:
+        return {"attributes": [est._state() for est in self._estimators]}
+
+    def _load_state(self, state: dict) -> None:
+        shards = state["attributes"]
+        if len(shards) != self.n_attributes:
+            raise ValueError(
+                f"state must carry {self.n_attributes} attribute shards, "
+                f"got {len(shards)}"
+            )
+        for estimator, shard in zip(self._estimators, shards):
+            estimator._load_state(shard)
+
+    def _repr_fields(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "n_attributes": self.n_attributes,
+            "d": self.d,
+        }
 
     @property
     def estimators(self) -> list[SWEstimator]:

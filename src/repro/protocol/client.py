@@ -47,3 +47,9 @@ class SWClient:
         and encode them as JSON lines."""
         randomized = self.mechanism.privatize(values, rng=rng)
         return encode_batch(self.round_id, randomized)
+
+    def __repr__(self) -> str:
+        return (
+            f"SWClient(round_id={self.round_id!r}, epsilon={self.epsilon}, "
+            f"b={self.mechanism.b:.4f})"
+        )

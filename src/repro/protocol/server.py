@@ -4,17 +4,24 @@
 stays O(d) no matter how many users stream in, and an estimate can be
 produced at any point mid-round (each estimate reruns EMS on the counts so
 far — the reports themselves are never needed again after bucketization).
+
+The server is a thin round-scoped wrapper around
+:class:`~repro.core.pipeline.SWEstimator`: wire-format decoding and round-id
+enforcement live here, while the EM configuration comes from one shared
+:class:`repro.api.EMConfig` (so e.g. the paper's EM tolerance rule cannot
+drift between the server and the offline estimators). Shard servers for the
+same round ``merge`` exactly and serialize via ``to_state()``/``from_state()``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.em import DEFAULT_MAX_ITER, EMResult, expectation_maximization
-from repro.core.smoothing import binomial_kernel
-from repro.core.square_wave import SquareWave
+from repro.api.base import Estimator
+from repro.api.config import DEFAULT_MAX_ITER, EMConfig
+from repro.core.em import EMResult
+from repro.core.pipeline import SWEstimator
 from repro.protocol.messages import SWReport, decode_batch
-from repro.utils.validation import check_domain_size
 
 __all__ = ["SWServer"]
 
@@ -28,8 +35,9 @@ class SWServer:
         Must match the round's :class:`~repro.protocol.client.SWClient`.
     d:
         Reconstruction granularity (also the report bucket count).
-    postprocess:
-        ``"ems"`` (default) or ``"em"``.
+    postprocess, tol, max_iter:
+        EM/EMS controls; equivalently pass a pre-built ``config``
+        (:class:`repro.api.EMConfig`), which takes precedence.
     """
 
     def __init__(
@@ -42,26 +50,58 @@ class SWServer:
         postprocess: str = "ems",
         tol: float | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
+        config: EMConfig | None = None,
     ) -> None:
-        if postprocess not in ("ems", "em"):
-            raise ValueError(f"postprocess must be 'ems' or 'em', got {postprocess!r}")
+        if config is None:
+            config = EMConfig(postprocess=postprocess, tol=tol, max_iter=max_iter)
         self.round_id = str(round_id)
-        self.mechanism = SquareWave(epsilon, b=b)
-        self.d = check_domain_size(d)
-        self.postprocess = postprocess
-        if tol is None:
-            tol = 1e-3 * np.exp(epsilon) if postprocess == "em" else 1e-3
-        self.tol = float(tol)
-        self.max_iter = int(max_iter)
-        self._counts = np.zeros(self.d, dtype=np.float64)
-        self._matrix: np.ndarray | None = None
-        self.result_: EMResult | None = None
+        self._estimator = SWEstimator(epsilon, d, b=b, config=config)
+
+    # -- delegated views ---------------------------------------------------
+    @property
+    def estimator(self) -> SWEstimator:
+        """The underlying streaming estimator (shared aggregation state)."""
+        return self._estimator
+
+    @property
+    def mechanism(self):
+        return self._estimator.mechanism
+
+    @property
+    def config(self) -> EMConfig:
+        return self._estimator.config
+
+    @property
+    def epsilon(self) -> float:
+        return self._estimator.epsilon
+
+    @property
+    def d(self) -> int:
+        return self._estimator.d
+
+    @property
+    def postprocess(self) -> str:
+        return self._estimator.postprocess
+
+    @property
+    def tol(self) -> float:
+        """Effective stopping tolerance (always a plain ``float``)."""
+        return self._estimator.tol
+
+    @property
+    def max_iter(self) -> int:
+        return self._estimator.max_iter
+
+    @property
+    def result_(self) -> EMResult | None:
+        return self._estimator.result_
 
     @property
     def n_reports(self) -> int:
         """Reports ingested so far."""
-        return int(self._counts.sum())
+        return self._estimator.n_reports
 
+    # -- ingestion ---------------------------------------------------------
     def ingest(self, report: SWReport) -> None:
         """Add one report to the round."""
         if report.round_id != self.round_id:
@@ -69,33 +109,62 @@ class SWServer:
                 f"report for round {report.round_id!r} sent to round "
                 f"{self.round_id!r}"
             )
-        self._ingest_values(np.array([report.value]))
+        self._estimator.ingest(np.array([report.value]))
 
     def ingest_batch(self, payload: str) -> int:
         """Add a JSON-lines batch; returns the number of reports ingested."""
         values = decode_batch(payload, expected_round=self.round_id)
-        self._ingest_values(values)
+        self._estimator.ingest(values)
         return values.size
 
     def ingest_values(self, values: np.ndarray) -> None:
         """Add already-decoded randomized values (simulation fast path)."""
-        self._ingest_values(np.asarray(values, dtype=np.float64))
-
-    def _ingest_values(self, values: np.ndarray) -> None:
-        self._counts += self.mechanism.bucketize_reports(values, self.d)
+        self._estimator.ingest(np.asarray(values, dtype=np.float64))
 
     def estimate(self) -> np.ndarray:
         """Reconstruct the input histogram from all reports so far."""
-        if self.n_reports == 0:
-            raise RuntimeError("no reports ingested yet")
-        if self._matrix is None:
-            self._matrix = self.mechanism.transition_matrix(self.d, self.d)
-        kernel = binomial_kernel(2) if self.postprocess == "ems" else None
-        self.result_ = expectation_maximization(
-            self._matrix,
-            self._counts,
-            tol=self.tol,
-            max_iter=self.max_iter,
-            smoothing_kernel=kernel,
+        return self._estimator.estimate()
+
+    # -- shard merge + serialization --------------------------------------
+    def merge(self, other: "SWServer") -> "SWServer":
+        """Fold another shard server's counts into this round's state."""
+        if not isinstance(other, SWServer):
+            raise TypeError(f"cannot merge {type(other).__name__} into SWServer")
+        if other.round_id != self.round_id:
+            raise ValueError(
+                f"cannot merge round {other.round_id!r} into round "
+                f"{self.round_id!r}"
+            )
+        self._estimator.merge(other._estimator)
+        return self
+
+    def to_state(self) -> dict:
+        """Serialize the round identity plus the aggregation state."""
+        return {
+            "class": "repro.protocol.server:SWServer",
+            "round_id": self.round_id,
+            "sw": self._estimator.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "SWServer":
+        """Rebuild a shard server from :meth:`to_state` output."""
+        inner = Estimator.from_state(payload["sw"])
+        if not isinstance(inner, SWEstimator):
+            raise ValueError("SWServer state must wrap an SWEstimator")
+        server = cls(
+            payload["round_id"],
+            inner.epsilon,
+            inner.d,
+            b=inner.mechanism.b,
+            config=inner.config,
         )
-        return self.result_.estimate
+        server._estimator = inner
+        return server
+
+    def __repr__(self) -> str:
+        return (
+            f"SWServer(round_id={self.round_id!r}, epsilon={self.epsilon}, "
+            f"d={self.d}, postprocess={self.postprocess!r}, "
+            f"n_reports={self.n_reports})"
+        )

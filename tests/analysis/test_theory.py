@@ -1,7 +1,5 @@
 """Tests validating the closed-form error theory against simulation."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,0 +1,170 @@
+"""Tests for the central estimator registry (repro.api.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Estimator,
+    get_spec,
+    list_estimators,
+    make_estimator,
+    register_estimator,
+)
+from repro.api.registry import _REGISTRY
+from repro.core.pipeline import estimate_distribution
+from repro.experiments.methods import METHOD_REGISTRY
+
+#: Every registered name must build an estimator that completes a full
+#: fit on a small synthetic dataset at this granularity (64 = 4^3 = 2^6,
+#: compatible with every family's domain constraint).
+D = 64
+
+
+@pytest.fixture(scope="module")
+def unit_values():
+    return np.random.default_rng(9).beta(5.0, 2.0, 3000)
+
+
+class TestRegistryContents:
+    def test_every_family_registered(self):
+        names = {spec.name for spec in list_estimators()}
+        assert {
+            "sw-ems",
+            "sw-em",
+            "sw-discrete-ems",
+            "sw-discrete-em",
+            "cfo",
+            "cfo-16",
+            "cfo-32",
+            "cfo-64",
+            "hh",
+            "haar-hrr",
+            "hh-admm",
+            "sr",
+            "pm",
+            "grr",
+            "olh",
+            "hrr",
+        } <= names
+
+    def test_kind_filter(self):
+        kinds = {s.kind for s in list_estimators(kind="distribution")}
+        assert kinds == {"distribution"}
+        assert {s.name for s in list_estimators(kind="scalar")} == {"sr", "pm"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            make_estimator("dp-sgd", 1.0, D)
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_spec("sw-ems")
+        with pytest.raises(ValueError, match="already registered"):
+            register_estimator("sw-ems", spec.factory, kind="distribution")
+
+    def test_overwrite_allowed_explicitly(self):
+        spec = get_spec("sw-ems")
+        register_estimator(
+            "sw-ems",
+            spec.factory,
+            kind=spec.kind,
+            supported_metrics=spec.supported_metrics,
+            description=spec.description,
+            tags=tuple(spec.tags),
+            overwrite=True,
+        )
+        assert get_spec("sw-ems").description == spec.description
+        _REGISTRY["sw-ems"] = spec  # restore the exact original object
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_estimator("x", lambda e, d: None, kind="magic")
+
+
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in list_estimators()]
+    )
+    def test_make_and_fit_every_registered_name(self, name, unit_values):
+        spec = get_spec(name)
+        est = make_estimator(name, 1.0, D)
+        assert isinstance(est, Estimator)
+        assert est.kind == spec.kind
+        rng = np.random.default_rng(3)
+        if spec.kind == "scalar":
+            out = est.fit(unit_values, rng=rng)
+            assert 0.0 <= out <= 1.0
+        elif spec.kind == "marginals":
+            matrix = np.column_stack([unit_values, 1.0 - unit_values])
+            out = est.fit(matrix, rng=rng)
+            assert len(out) == est.n_attributes
+            for marginal in out:
+                assert marginal.sum() == pytest.approx(1.0)
+        elif spec.kind == "frequency":
+            out = est.fit(rng.integers(0, D, 3000), rng=rng)
+            assert out.shape == (D,)
+            assert np.isfinite(out).all()
+        else:
+            out = est.fit(unit_values, rng=rng)
+            assert out.shape == (D,)
+            assert np.isfinite(out).all()
+            if spec.kind == "distribution":
+                assert (out >= -1e-12).all()
+                assert out.sum() == pytest.approx(1.0)
+
+    def test_kwargs_forwarded(self):
+        est = make_estimator("cfo", 1.0, D, bins=8)
+        assert est.bins == 8
+        est = make_estimator("hh", 1.0, 64, branching=8)
+        assert est.tree.branching == 8
+
+
+class TestSingleDispatchTable:
+    """No consumer keeps an independent dispatch table anymore."""
+
+    def test_method_registry_is_a_view(self):
+        for name, spec in METHOD_REGISTRY.items():
+            assert spec is get_spec(name)
+
+    def test_table2_tag_matches_paper(self):
+        assert set(METHOD_REGISTRY) == {
+            "sw-ems",
+            "sw-em",
+            "hh-admm",
+            "cfo-16",
+            "cfo-32",
+            "cfo-64",
+            "hh",
+            "haar-hrr",
+            "sr",
+            "pm",
+        }
+
+    def test_choose_oracle_uses_registry(self):
+        from repro.freq_oracle.adaptive import choose_oracle
+        from repro.freq_oracle.grr import GRR
+        from repro.freq_oracle.olh import OLH
+
+        assert isinstance(choose_oracle(1.0, 4), GRR)
+        assert isinstance(choose_oracle(1.0, 1024), OLH)
+        assert isinstance(choose_oracle(1.0, 4), Estimator)
+
+
+class TestEstimateDistributionViaRegistry:
+    def test_non_sw_method_now_works(self, unit_values):
+        out = estimate_distribution(
+            unit_values, 1.0, d=D, method="cfo-16", rng=np.random.default_rng(0)
+        )
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_leaf_signed_rejected(self, unit_values):
+        """hh/haar-hrr can return negative mass — not a distribution."""
+        with pytest.raises(ValueError, match="leaf-signed"):
+            estimate_distribution(unit_values, 1.0, d=D, method="haar-hrr")
+
+    def test_scalar_rejected(self, unit_values):
+        with pytest.raises(ValueError, match="scalar"):
+            estimate_distribution(unit_values, 1.0, d=D, method="pm")
+
+    def test_unknown_method_message(self, unit_values):
+        with pytest.raises(ValueError, match="unknown method"):
+            estimate_distribution(unit_values, 1.0, method="nope")

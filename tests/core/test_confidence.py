@@ -9,7 +9,6 @@ from repro.core.confidence import (
 )
 from repro.core.pipeline import SWEstimator
 from repro.core.square_wave import SquareWave
-from tests.conftest import true_histogram
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Smoke tests for the figure generators (tiny scales)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import figures

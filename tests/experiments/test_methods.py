@@ -35,6 +35,20 @@ class TestRegistryContents:
         for name in ("sr", "pm"):
             assert set(reg[name].supported_metrics) == {"mean", "variance"}
 
+    def test_table2_row_order_matches_paper(self):
+        assert list(METHOD_REGISTRY) == [
+            "sw-ems",
+            "sw-em",
+            "hh-admm",
+            "cfo-16",
+            "cfo-32",
+            "cfo-64",
+            "hh",
+            "haar-hrr",
+            "sr",
+            "pm",
+        ]
+
     def test_kinds(self):
         assert METHOD_REGISTRY["sw-ems"].kind == "distribution"
         assert METHOD_REGISTRY["hh"].kind == "leaf-signed"
@@ -45,6 +59,7 @@ class TestRegistryContents:
         assert not METHOD_REGISTRY["hh"].supports("w1")
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestMakeMethod:
     @pytest.mark.parametrize(
         "name", ["sw-ems", "sw-em", "hh-admm", "cfo-16", "hh", "haar-hrr"]
@@ -55,8 +70,17 @@ class TestMakeMethod:
         assert out.shape == (64,)
 
     def test_scalar_factories(self):
-        assert make_method("sr", 1.0, 64) == ("sr", 1.0)
-        assert make_method("pm", 2.0, 64) == ("pm", 2.0)
+        """Scalar methods are real estimators now, not (name, eps) tuples."""
+        from repro.mean.scalar import ScalarMeanEstimator
+
+        sr = make_method("sr", 1.0, 64)
+        assert isinstance(sr, ScalarMeanEstimator)
+        assert sr.name == "sr"
+        assert sr.epsilon == 1.0
+        pm = make_method("pm", 2.0, 64)
+        assert pm.name == "pm"
+        assert pm.epsilon == 2.0
+        assert pm.kind == "scalar"
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown method"):

@@ -1,6 +1,5 @@
 """End-to-end tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -46,7 +45,9 @@ class TestPrivatizeAggregate:
 
 
 class TestEstimate:
-    @pytest.mark.parametrize("method", ["sw-ems", "cfo-16"])
+    @pytest.mark.parametrize(
+        "method", ["sw-ems", "cfo-16", "sw-discrete-ems", "hh-admm"]
+    )
     def test_methods(self, tmp_path, values_file, method):
         out = tmp_path / "hist.csv"
         assert main([
@@ -54,6 +55,45 @@ class TestEstimate:
             "--input", str(values_file), "--output", str(out), "--seed", "1",
         ]) == 0
         assert read_histogram_csv(out).sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_leaf_signed_method(self, tmp_path, values_file):
+        out = tmp_path / "hist.csv"
+        assert main([
+            "estimate", "--epsilon", "1.0", "--d", "64", "--method", "haar-hrr",
+            "--input", str(values_file), "--output", str(out), "--seed", "1",
+        ]) == 0
+        assert read_histogram_csv(out).shape == (64,)
+
+    def test_frequency_method(self, tmp_path, values_file):
+        out = tmp_path / "freq.csv"
+        assert main([
+            "estimate", "--epsilon", "1.0", "--d", "64", "--method", "grr",
+            "--input", str(values_file), "--output", str(out), "--seed", "1",
+        ]) == 0
+        assert read_histogram_csv(out).shape == (64,)
+
+    def test_scalar_method(self, tmp_path, values_file, capsys):
+        out = tmp_path / "mean.csv"
+        assert main([
+            "estimate", "--epsilon", "1.0", "--method", "pm",
+            "--input", str(values_file), "--output", str(out), "--seed", "1",
+        ]) == 0
+        assert "estimated mean" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("statistic,value")
+        mean = float(text.splitlines()[1].split(",")[1])
+        assert 0.6 < mean < 0.8  # Beta(5, 2) has mean 5/7
+
+    def test_list_methods(self, capsys):
+        assert main(["estimate", "--list-methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sw-ems", "hh-admm", "cfo-16", "sr", "grr"):
+            assert name in out
+        assert "distribution" in out and "scalar" in out
+
+    def test_missing_required_flags(self, capsys):
+        assert main(["estimate", "--method", "sw-ems"]) == 2
+        assert "required" in capsys.readouterr().err
 
     def test_unknown_method_fails(self, tmp_path, values_file):
         code = main([
