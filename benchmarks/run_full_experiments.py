@@ -43,6 +43,13 @@ def main() -> None:
     parser.add_argument("--n", type=int, default=200_000)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep trials (-1 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
     parser.add_argument("--out", default="results/full")
     args = parser.parse_args()
 
@@ -70,7 +77,7 @@ def main() -> None:
             n=args.n,
             seed=args.seed,
         )
-        rows = run_sweep(config, dataset=dataset)
+        rows = run_sweep(config, dataset=dataset, n_jobs=args.jobs)
         save(
             rows,
             f"fig234_{dataset_name}",

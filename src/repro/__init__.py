@@ -26,6 +26,7 @@ from repro.analysis import (
 )
 from repro.api import (
     EMConfig,
+    EmptyAggregateError,
     Estimator,
     EstimatorSpec,
     Mechanism,
@@ -76,6 +77,7 @@ __all__ = [
     "Estimator",
     "Mechanism",
     "EMConfig",
+    "EmptyAggregateError",
     "EstimatorSpec",
     "make_estimator",
     "list_estimators",

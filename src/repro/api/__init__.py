@@ -18,6 +18,7 @@ from repro.api.base import (
     mechanism_spec,
 )
 from repro.api.config import DEFAULT_MAX_ITER, POSTPROCESS_CHOICES, EMConfig
+from repro.api.errors import EmptyAggregateError
 from repro.api.registry import (
     DISTRIBUTION_METRICS,
     ESTIMATOR_KINDS,
@@ -37,6 +38,7 @@ __all__ = [
     "mechanism_spec",
     "mechanism_from_spec",
     "EMConfig",
+    "EmptyAggregateError",
     "DEFAULT_MAX_ITER",
     "POSTPROCESS_CHOICES",
     "EstimatorSpec",

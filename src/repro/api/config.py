@@ -99,19 +99,49 @@ class EMConfig:
 
         return binomial_kernel(self.smoothing_order)
 
-    def run(self, matrix: np.ndarray, counts: np.ndarray, epsilon: float):
+    def run(
+        self,
+        matrix: np.ndarray,
+        counts: np.ndarray,
+        epsilon: float,
+        *,
+        validated: bool = False,
+    ):
         """Run EM/EMS on a report histogram with this configuration.
 
-        Returns the :class:`~repro.core.em.EMResult`.
+        ``validated=True`` skips the column-stochastic matrix check — pass
+        it when the matrix comes from the engine cache, which validates
+        once at insert. Returns the :class:`~repro.core.em.EMResult`.
         """
-        from repro.core.em import expectation_maximization
+        return self.run_many(
+            matrix, np.asarray(counts, dtype=np.float64)[:, None],
+            epsilon, validated=validated,
+        ).column(0)
 
-        return expectation_maximization(
+    def run_many(
+        self,
+        matrix: np.ndarray,
+        counts: np.ndarray,
+        epsilon: float,
+        *,
+        validated: bool = False,
+    ):
+        """Batched EM/EMS over ``(d_out, B)`` stacked report histograms.
+
+        All ``B`` problems share ``matrix`` and this configuration; the
+        engine solves them as single BLAS matmuls with a per-column
+        convergence mask. Returns the
+        :class:`~repro.engine.solver.BatchEMResult`.
+        """
+        from repro.engine.solver import batched_expectation_maximization
+
+        return batched_expectation_maximization(
             matrix,
             counts,
             tol=self.resolve_tolerance(epsilon),
             max_iter=self.max_iter,
             smoothing_kernel=self.kernel(),
+            validate_matrix=not validated,
         )
 
     def to_dict(self) -> dict:

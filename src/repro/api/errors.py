@@ -1,0 +1,21 @@
+"""Package-level exception types.
+
+Like :mod:`repro.api.config`, this module imports nothing from the rest of
+the package so it can sit at the bottom of the dependency graph.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EmptyAggregateError"]
+
+
+class EmptyAggregateError(RuntimeError):
+    """``estimate()`` was called before any reports were ingested.
+
+    Every estimator raises this single type at the lifecycle boundary, so
+    callers can catch "nothing to reconstruct yet" uniformly instead of
+    meeting low-level validation errors (e.g. the EM solver's "counts must
+    contain at least one report") from deep inside the compute engine.
+    Subclasses ``RuntimeError`` for backwards compatibility with callers
+    that caught the previous generic error.
+    """

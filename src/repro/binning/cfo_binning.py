@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.api.base import Estimator
 from repro.api.config import EMConfig
+from repro.api.errors import EmptyAggregateError
 from repro.core.em import EMResult
+from repro.engine.cache import cached_matrix
 from repro.freq_oracle.adaptive import choose_oracle
 from repro.freq_oracle.grr import GRR
 from repro.freq_oracle.olh import OLH
@@ -131,7 +133,9 @@ class CFOBinning(Estimator):
 
         Column ``i`` (a fine bucket inside chunk ``c``) is the GRR report
         distribution of chunk ``c`` — ``p`` on the true chunk, ``q``
-        elsewhere — so columns sum to ``p + (bins - 1) q = 1``.
+        elsewhere — so columns sum to ``p + (bins - 1) q = 1``. Served
+        read-only from the process-wide engine cache, keyed on the channel
+        parameters.
         """
         if self._matrix is None:
             if not isinstance(self.oracle, GRR):
@@ -139,10 +143,20 @@ class CFOBinning(Estimator):
                     "transition_matrix is defined for the GRR channel only; "
                     f"this estimator uses {self.oracle.name}"
                 )
-            noise = np.full((self.bins, self.bins), self.oracle.q)
-            np.fill_diagonal(noise, self.oracle.p)
-            self._matrix = np.repeat(noise, self.d // self.bins, axis=1)
+            key = (
+                "cfo-grr-channel",
+                self.bins,
+                self.d,
+                self.oracle.p,
+                self.oracle.q,
+            )
+            self._matrix = cached_matrix(key, self._build_matrix)
         return self._matrix
+
+    def _build_matrix(self) -> np.ndarray:
+        noise = np.full((self.bins, self.bins), self.oracle.q)
+        np.fill_diagonal(noise, self.oracle.p)
+        return np.repeat(noise, self.d // self.bins, axis=1)
 
     # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None):
@@ -166,10 +180,11 @@ class CFOBinning(Estimator):
     def estimate(self) -> np.ndarray:
         """Reconstruct the ``d``-bucket histogram from all ingested reports."""
         if self._n == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         if self.em is not None:
             self.result_ = self.em.run(
-                self.transition_matrix, self._chunk_acc, self.epsilon
+                self.transition_matrix, self._chunk_acc, self.epsilon,
+                validated=True,
             )
             return self.result_.estimate
         chunk_distribution = norm_sub(self._chunk_acc / self._n, total=1.0)

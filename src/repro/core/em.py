@@ -15,17 +15,24 @@ removes the delicate stopping-threshold tuning that plain EM needs.
 Stopping: iterate until the log-likelihood improvement drops below ``tol``.
 Paper defaults (Section 6.1): ``tol = 1e-3 * e^eps`` for EM and
 ``tol = 1e-3`` for EMS.
+
+This module is the single-problem view of the batched solver in
+:mod:`repro.engine.solver` — ``expectation_maximization`` wraps one count
+vector into a one-column batch, so the sequential and batched paths share
+one implementation (and one :class:`EMResult` diagnostics type). Call the
+engine directly to solve many count vectors against the same matrix in one
+BLAS-batched pass.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.api.config import DEFAULT_MAX_ITER
-from repro.core.smoothing import binomial_kernel, smooth
+from repro.core.smoothing import binomial_kernel
+from repro.engine.solver import EMResult, batched_expectation_maximization
 
 __all__ = [
     "EMResult",
@@ -34,39 +41,6 @@ __all__ = [
     "em_reconstruct",
     "ems_reconstruct",
 ]
-
-#: Floor applied to predicted report probabilities before dividing/logging.
-_DENSITY_FLOOR = 1e-300
-
-
-@dataclass(frozen=True)
-class EMResult:
-    """Outcome of an EM/EMS run.
-
-    Attributes
-    ----------
-    estimate:
-        Reconstructed input histogram (non-negative, sums to 1).
-    iterations:
-        Number of completed iterations.
-    converged:
-        Whether the tolerance was met before ``max_iter``.
-    log_likelihood:
-        Final data log-likelihood ``sum_j n_j log (M x)_j``.
-    history:
-        Log-likelihood after every iteration (length ``iterations``).
-    """
-
-    estimate: np.ndarray
-    iterations: int
-    converged: bool
-    log_likelihood: float
-    history: np.ndarray = field(repr=False)
-
-
-def _log_likelihood(counts: np.ndarray, predicted: np.ndarray) -> float:
-    mask = counts > 0
-    return float(counts[mask] @ np.log(predicted[mask]))
 
 
 def expectation_maximization(
@@ -105,56 +79,23 @@ def expectation_maximization(
     n = np.asarray(counts, dtype=np.float64)
     if m.ndim != 2:
         raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
-    d_out, d = m.shape
+    d_out = m.shape[0]
     if n.shape != (d_out,):
         raise ValueError(f"counts must have shape ({d_out},), got {n.shape}")
-    if n.min() < 0:
-        raise ValueError("counts must be non-negative")
-    if n.sum() == 0:
-        raise ValueError("counts must contain at least one report")
-    if not np.allclose(m.sum(axis=0), 1.0, atol=1e-6):
-        raise ValueError("matrix columns must sum to 1")
-    if max_iter < 1:
-        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
-
-    if x0 is None:
-        x = np.full(d, 1.0 / d)
-    else:
-        x = np.asarray(x0, dtype=np.float64).copy()
-        if x.shape != (d,) or x.min() < 0 or x.sum() <= 0:
-            raise ValueError("x0 must be a non-negative length-d vector with positive sum")
-        x = x / x.sum()
-
-    history: list[float] = []
-    previous = _log_likelihood(n, np.maximum(m @ x, _DENSITY_FLOOR))
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        predicted = np.maximum(m @ x, _DENSITY_FLOOR)
-        weights = m.T @ (n / predicted)
-        x = x * weights
-        total = x.sum()
-        if total <= 0:  # pragma: no cover - defensive; cannot occur with valid M
-            x = np.full(d, 1.0 / d)
-        else:
-            x /= total
-        if smoothing_kernel is not None:
-            x = smooth(x, smoothing_kernel)
-            x /= x.sum()
-        current = _log_likelihood(n, np.maximum(m @ x, _DENSITY_FLOOR))
-        history.append(current)
-        if current - previous < tol:
-            converged = True
-            break
-        previous = current
-
-    return EMResult(
-        estimate=x,
-        iterations=iterations,
-        converged=converged,
-        log_likelihood=history[-1],
-        history=np.asarray(history),
-    )
+    if x0 is not None:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim != 1:
+            raise ValueError(
+                "x0 must be a non-negative length-d vector with positive sum"
+            )
+    return batched_expectation_maximization(
+        m,
+        n[:, None],
+        tol=tol,
+        max_iter=max_iter,
+        smoothing_kernel=smoothing_kernel,
+        x0=x0,
+    ).column(0)
 
 
 def em_reconstruct(

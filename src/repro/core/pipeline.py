@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.api.base import Estimator, mechanism_spec
 from repro.api.config import DEFAULT_MAX_ITER, EMConfig
+from repro.api.errors import EmptyAggregateError
 from repro.core.em import EMResult
 from repro.core.square_wave import DiscreteSquareWave, SquareWave
+from repro.engine.cache import cached_transition_matrix
 from repro.utils.validation import check_domain_size
 
 __all__ = ["WaveEstimator", "SWEstimator", "DiscreteSWEstimator", "estimate_distribution"]
@@ -123,13 +125,18 @@ class WaveEstimator(Estimator):
 
     @property
     def transition_matrix(self) -> np.ndarray:
-        """The ``(d_out, d)`` matrix, built lazily and cached per estimator."""
+        """The ``(d_out, d)`` matrix, served read-only from the engine cache.
+
+        Identically-parameterized estimators across the process share one
+        immutable array (see :mod:`repro.engine.cache`); its column-sum
+        invariant is validated once at insert, so EM runs skip the check.
+        """
         if self._matrix is None:
             self._matrix = self._build_matrix()
         return self._matrix
 
     def _build_matrix(self) -> np.ndarray:
-        return self.mechanism.transition_matrix(self.d, self.d_out)
+        return cached_transition_matrix(self.mechanism, self.d, self.d_out)
 
     # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
@@ -163,9 +170,9 @@ class WaveEstimator(Estimator):
     def estimate(self) -> np.ndarray:
         """Reconstruct the input histogram from all reports ingested so far."""
         if self._counts.sum() <= 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         self.result_ = self.config.run(
-            self.transition_matrix, self._counts, self.epsilon
+            self.transition_matrix, self._counts, self.epsilon, validated=True
         )
         return self.result_.estimate
 
@@ -282,7 +289,8 @@ class DiscreteSWEstimator(WaveEstimator):
         return self.mechanism.bucketize_reports(reports)
 
     def _build_matrix(self) -> np.ndarray:
-        return self.mechanism.transition_matrix()
+        # The discrete mechanism owns its geometry: cache key on params only.
+        return cached_transition_matrix(self.mechanism)
 
     def _params(self) -> dict:
         return {

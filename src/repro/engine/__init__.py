@@ -1,0 +1,48 @@
+"""repro.engine — the shared compute substrate under every estimator.
+
+Two pieces, both pure infrastructure (no estimator logic lives here):
+
+* :mod:`repro.engine.cache` — a process-wide, keyed, immutable cache of
+  bucket transition matrices (validated once at insert, served read-only)
+  plus a generic object cache for other expensive pure derivations;
+* :mod:`repro.engine.solver` — the batched EM/EMS solver (paper §5.5):
+  ``B`` independent reconstruction problems sharing one matrix run as
+  single BLAS matmuls with a per-column convergence mask.
+
+Every EM-backed estimator (``repro.core.pipeline``, the EM mode of
+``repro.binning``, ``repro.multidim``, the streaming ``repro.protocol``
+server) and the experiment sweep runner route through this package; the
+single-problem API in :mod:`repro.core.em` is a thin compatibility wrapper.
+"""
+
+from repro.engine.cache import (
+    MatrixCacheInfo,
+    cached_matrix,
+    cached_object,
+    cached_transition_matrix,
+    clear_caches,
+    freeze_matrix,
+    matrix_cache_info,
+    mechanism_cache_key,
+    set_matrix_cache_limit,
+)
+from repro.engine.solver import (
+    BatchEMResult,
+    EMResult,
+    batched_expectation_maximization,
+)
+
+__all__ = [
+    "MatrixCacheInfo",
+    "cached_matrix",
+    "cached_object",
+    "cached_transition_matrix",
+    "clear_caches",
+    "freeze_matrix",
+    "matrix_cache_info",
+    "mechanism_cache_key",
+    "set_matrix_cache_limit",
+    "EMResult",
+    "BatchEMResult",
+    "batched_expectation_maximization",
+]

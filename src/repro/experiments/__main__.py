@@ -55,6 +55,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep trials (-1 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
     parser.add_argument("--out", default="results", help="output directory for CSV")
     args = parser.parse_args(argv)
 
@@ -76,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
     kwargs: dict = {"seed": args.seed}
     if args.figure != "fig1":  # the dataset summary has no trial repeats
         kwargs["repeats"] = args.repeats
+    if args.figure in ("fig2", "fig3", "fig4"):  # the sweep-runner figures
+        kwargs["n_jobs"] = args.jobs
     kwargs["n"] = None if args.paper_n else args.n
     if args.datasets:
         if args.figure == "fig6":

@@ -106,6 +106,7 @@ def _standard_sweep(
     n: int | None,
     repeats: int,
     seed: int,
+    n_jobs: int | None = 1,
 ) -> list[ResultRow]:
     rows: list[ResultRow] = []
     for name in datasets:
@@ -118,7 +119,9 @@ def _standard_sweep(
             n=n,
             seed=seed,
         )
-        rows.extend(run_sweep(config, dataset=_get_dataset(name, n, seed)))
+        rows.extend(
+            run_sweep(config, dataset=_get_dataset(name, n, seed), n_jobs=n_jobs)
+        )
     return rows
 
 
@@ -128,10 +131,12 @@ def fig2_distribution_distances(
     n: int | None = 100_000,
     repeats: int = 5,
     seed: int = 0,
+    n_jobs: int | None = 1,
 ) -> list[ResultRow]:
     """Figure 2: Wasserstein and KS distance vs epsilon, all datasets."""
     return _standard_sweep(
-        ("w1", "ks"), _DISTRIBUTION_METHODS, datasets, epsilons, n, repeats, seed
+        ("w1", "ks"), _DISTRIBUTION_METHODS, datasets, epsilons, n, repeats, seed,
+        n_jobs,
     )
 
 
@@ -141,11 +146,13 @@ def fig3_range_queries(
     n: int | None = 100_000,
     repeats: int = 5,
     seed: int = 0,
+    n_jobs: int | None = 1,
 ) -> list[ResultRow]:
     """Figure 3: random range-query MAE (alpha = 0.1 and 0.4)."""
     methods = _DISTRIBUTION_METHODS + ("hh", "haar-hrr")
     return _standard_sweep(
-        ("range-0.1", "range-0.4"), methods, datasets, epsilons, n, repeats, seed
+        ("range-0.1", "range-0.4"), methods, datasets, epsilons, n, repeats, seed,
+        n_jobs,
     )
 
 
@@ -155,11 +162,13 @@ def fig4_statistics(
     n: int | None = 100_000,
     repeats: int = 5,
     seed: int = 0,
+    n_jobs: int | None = 1,
 ) -> list[ResultRow]:
     """Figure 4: mean, variance, and quantile MAE (adds SR and PM)."""
     methods = _DISTRIBUTION_METHODS + ("sr", "pm")
     return _standard_sweep(
-        ("mean", "variance", "quantile"), methods, datasets, epsilons, n, repeats, seed
+        ("mean", "variance", "quantile"), methods, datasets, epsilons, n, repeats,
+        seed, n_jobs,
     )
 
 

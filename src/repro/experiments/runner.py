@@ -13,10 +13,20 @@ Fairness details mirrored from the paper:
 * every method inside one trial answers the *same* random range-query set;
 * each (method, epsilon, repeat) trial gets an independent child generator
   derived from the sweep seed, so methods never share randomness.
+
+Execution is trial-parallel: every trial's seed is drawn up front from the
+sweep's ``SeedSequence``-derived generator in a fixed grid order, so a trial
+is a pure function of ``(seed, shared dataset, shared queries)`` and the
+``n_jobs`` multiprocessing path produces bit-identical results to the
+serial path — workers just execute the same task list out of order. The
+transition matrices each worker needs are rebuilt once per process and then
+served from the :mod:`repro.engine` cache across all of its trials.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -137,14 +147,124 @@ def _scalar_trial(
     return out
 
 
-def run_sweep(config: SweepConfig, dataset=None) -> list[ResultRow]:
+@dataclass(frozen=True)
+class _TrialTask:
+    """One fully-seeded grid-cell repetition (pure given the shared context)."""
+
+    method: str
+    epsilon: float
+    repeat: int
+    seed: int
+    scalar: bool
+    wanted: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _TrialContext:
+    """Read-only state every trial shares (shipped once per worker process)."""
+
+    d: int
+    values: np.ndarray
+    true_hist: np.ndarray
+    true_mean: float
+    true_variance: float
+    queries_per_repeat: tuple[dict[float, np.ndarray], ...]
+
+
+#: Worker-process trial context, set once by the pool initializer. Serial
+#: runs pass the context explicitly instead, so concurrent ``run_sweep``
+#: calls in one process never share (or retain) state through this global.
+_CONTEXT: _TrialContext | None = None
+
+
+def _init_worker(context: _TrialContext) -> None:
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def _run_pool_trial(task: _TrialTask) -> dict[str, float]:
+    """Pool entry point: execute one trial against the worker's context."""
+    return _run_trial(_CONTEXT, task)
+
+
+def _run_trial(ctx: _TrialContext, task: _TrialTask) -> dict[str, float]:
+    """Execute one trial: pure given ``(ctx, task.seed)``."""
+    rng = np.random.default_rng(task.seed)
+    if task.scalar:
+        return _scalar_trial(
+            task.method,
+            task.epsilon,
+            ctx.values,
+            task.wanted,
+            ctx.true_mean,
+            ctx.true_variance,
+            rng,
+        )
+    estimator = make_estimator(task.method, task.epsilon, ctx.d)
+    est = estimator.fit(ctx.values, rng=rng)
+    return evaluate_histogram(
+        ctx.true_hist, est, task.wanted, ctx.queries_per_repeat[task.repeat]
+    )
+
+
+def _trial_tasks(
+    config: SweepConfig, trial_seed: np.random.SeedSequence
+) -> list[_TrialTask]:
+    """Enumerate the grid with per-trial seeds in the canonical order.
+
+    Seeds are drawn method -> epsilon -> repeat from one generator derived
+    from the sweep seed, so the task list (and therefore every trial's
+    randomness) is identical no matter how the tasks are later scheduled.
+    """
+    trial_rng = np.random.default_rng(trial_seed)
+    tasks: list[_TrialTask] = []
+    for method_name in config.methods:
+        spec = METHOD_REGISTRY[method_name]
+        wanted = tuple(m for m in config.metrics if spec.supports(m))
+        if not wanted:
+            continue
+        for epsilon in config.epsilons:
+            for repeat in range(config.repeats):
+                tasks.append(
+                    _TrialTask(
+                        method=method_name,
+                        epsilon=epsilon,
+                        repeat=repeat,
+                        seed=int(trial_rng.integers(0, 2**63 - 1)),
+                        scalar=spec.kind == "scalar",
+                        wanted=wanted,
+                    )
+                )
+    return tasks
+
+
+def _resolve_jobs(n_jobs: int | None) -> int:
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def run_sweep(
+    config: SweepConfig, dataset=None, *, n_jobs: int | None = 1
+) -> list[ResultRow]:
     """Run the sweep and return one aggregated row per grid cell x metric.
 
     ``dataset`` may be a pre-built :class:`~repro.datasets.base.Dataset` to
     share generation cost across sweeps; otherwise it is generated from
     ``config.dataset`` / ``config.n`` with a seed derived from the sweep
     seed.
+
+    ``n_jobs`` runs trials in a process pool (``-1`` = all cores). Every
+    trial's generator is seeded up front from the sweep's ``SeedSequence``
+    in a fixed order, so parallel results are bit-identical to a serial run
+    with the same config.
     """
+    jobs = _resolve_jobs(n_jobs)
     master = np.random.SeedSequence(config.seed)
     data_seed, trial_seed, query_seed = master.spawn(3)
     if dataset is None:
@@ -153,53 +273,41 @@ def run_sweep(config: SweepConfig, dataset=None) -> list[ResultRow]:
         )
     d = dataset.default_bins if config.d is None else config.d
     true_hist = dataset.histogram(d)
-    true_mean = histogram_mean(true_hist)
-    true_variance = histogram_variance(true_hist)
 
     # One query set per repeat, shared by every method in that repeat.
     alphas = sorted(
         {float(m.split("-", 1)[1]) for m in config.metrics if m.startswith("range-")}
     )
     query_rng = np.random.default_rng(query_seed)
-    queries_per_repeat = [
+    queries_per_repeat = tuple(
         {a: query_rng.uniform(0.0, 1.0 - a, size=N_RANGE_QUERIES) for a in alphas}
         for _ in range(config.repeats)
-    ]
+    )
 
-    trial_rng = np.random.default_rng(trial_seed)
+    context = _TrialContext(
+        d=d,
+        values=dataset.values,
+        true_hist=true_hist,
+        true_mean=histogram_mean(true_hist),
+        true_variance=histogram_variance(true_hist),
+        queries_per_repeat=queries_per_repeat,
+    )
+    tasks = _trial_tasks(config, trial_seed)
+
+    if jobs == 1 or len(tasks) <= 1:
+        trials = [_run_trial(context, task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_init_worker,
+            initargs=(context,),
+        ) as pool:
+            trials = list(pool.map(_run_pool_trial, tasks, chunksize=1))
+
     samples: dict[tuple[str, float, str], list[float]] = {}
-    for method_name in config.methods:
-        spec = METHOD_REGISTRY[method_name]
-        wanted = tuple(m for m in config.metrics if spec.supports(m))
-        if not wanted:
-            continue
-        for epsilon in config.epsilons:
-            method = (
-                None
-                if spec.kind == "scalar"  # scalar trials run the two-phase
-                else make_estimator(method_name, epsilon, d)  # protocol below
-            )
-            for repeat in range(config.repeats):
-                rng = np.random.default_rng(
-                    trial_rng.integers(0, 2**63 - 1)
-                )
-                if spec.kind == "scalar":
-                    trial = _scalar_trial(
-                        method_name,
-                        epsilon,
-                        dataset.values,
-                        wanted,
-                        true_mean,
-                        true_variance,
-                        rng,
-                    )
-                else:
-                    est = method.fit(dataset.values, rng=rng)
-                    trial = evaluate_histogram(
-                        true_hist, est, wanted, queries_per_repeat[repeat]
-                    )
-                for metric, value in trial.items():
-                    samples.setdefault((method_name, epsilon, metric), []).append(value)
+    for task, trial in zip(tasks, trials):
+        for metric, value in trial.items():
+            samples.setdefault((task.method, task.epsilon, metric), []).append(value)
 
     rows = [
         ResultRow(

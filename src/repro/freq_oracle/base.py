@@ -25,6 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.base import Estimator
+from repro.api.errors import EmptyAggregateError
 from repro.utils.validation import check_domain_size, check_epsilon
 
 __all__ = ["FrequencyOracle"]
@@ -125,7 +126,7 @@ class FrequencyOracle(Estimator):
     def estimate(self) -> np.ndarray:
         """Combined unbiased frequency estimate over all ingested batches."""
         if self._n == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         return self._weighted / self._n
 
     def reset(self) -> None:

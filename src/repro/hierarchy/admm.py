@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.errors import EmptyAggregateError
+from repro.engine.cache import cached_object
 from repro.hierarchy.constrained import NullspaceProjector
 from repro.hierarchy.hh import HierarchicalHistogram
 from repro.hierarchy.tree import TreeLayout
@@ -137,13 +139,19 @@ class HHADMM(HierarchicalHistogram):
         super().__init__(epsilon, d, branching, split="population")
         self.max_iter = int(max_iter)
         self.tol = float(tol)
-        self._projector = NullspaceProjector(self.tree)
+        # The Cholesky-factored consistency projector depends only on the
+        # tree geometry; identically-shaped HH-ADMM estimators across the
+        # process (e.g. one per sweep trial) share one factorization.
+        self._projector = cached_object(
+            ("nullspace-projector", d, branching),
+            lambda: NullspaceProjector(self.tree),
+        )
         self.diagnostics_: ADMMDiagnostics | None = None
 
     def estimate(self) -> np.ndarray:
         """Leaf distribution (non-negative, sums to 1) from ingested reports."""
         if int(self._level_n.sum()) == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         raw, _ = self._collected()
         x, diag = admm_postprocess(
             self.tree,

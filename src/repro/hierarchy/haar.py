@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.base import Estimator
+from repro.api.errors import EmptyAggregateError
 from repro.freq_oracle.hrr import HRR
 from repro.hierarchy.hh import TreeReports
 from repro.utils.histograms import bucketize
@@ -102,7 +103,7 @@ class HaarHRR(Estimator):
     def estimate(self) -> np.ndarray:
         """Leaf estimates via the inverse Haar cascade over ingested state."""
         if int(self._height_n.sum()) == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         # details[t - 1] holds the estimated detail vector of height t
         # (length d / 2^t); heights nobody reported stay at zero detail.
         details: list[np.ndarray] = []

@@ -29,6 +29,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.base import Estimator
+from repro.api.errors import EmptyAggregateError
 from repro.freq_oracle.adaptive import choose_oracle
 from repro.hierarchy.constrained import consistency_projection
 from repro.hierarchy.tree import TreeLayout, range_decomposition
@@ -263,7 +264,7 @@ class HierarchicalHistogram(Estimator):
     def estimate(self) -> np.ndarray:
         """Constrained-inference leaf estimates from all ingested batches."""
         if int(self._level_n.sum()) == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         raw, weights = self._collected()
         self.node_estimates_ = consistency_projection(self.tree, raw, weights)
         return self.node_estimates_[self.tree.level_slice(self.tree.height)]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.base import Estimator
+from repro.api.errors import EmptyAggregateError
 from repro.mean.variance import make_mechanism
 from repro.utils.validation import check_unit_values
 
@@ -73,7 +74,7 @@ class ScalarMeanEstimator(Estimator):
     def estimate(self) -> float:
         """Unit-scale mean estimate over everything ingested so far."""
         if self._n == 0:
-            raise RuntimeError("no reports ingested yet")
+            raise EmptyAggregateError("no reports ingested yet")
         signed_mean = self._sum / self._n
         return float(np.clip((signed_mean + 1.0) / 2.0, 0.0, 1.0))
 

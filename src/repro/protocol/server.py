@@ -11,6 +11,11 @@ enforcement live here, while the EM configuration comes from one shared
 :class:`repro.api.EMConfig` (so e.g. the paper's EM tolerance rule cannot
 drift between the server and the offline estimators). Shard servers for the
 same round ``merge`` exactly and serialize via ``to_state()``/``from_state()``.
+
+Reconstruction routes through :mod:`repro.engine`: the round's transition
+matrix is served read-only from the process-wide cache (validated once at
+insert), so many concurrent rounds with the same mechanism parameters share
+one array, and each mid-round ``estimate()`` skips re-validating it.
 """
 
 from __future__ import annotations
@@ -91,6 +96,11 @@ class SWServer:
     @property
     def max_iter(self) -> int:
         return self._estimator.max_iter
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """The round's ``(d, d)`` channel matrix (shared, read-only)."""
+        return self._estimator.transition_matrix
 
     @property
     def result_(self) -> EMResult | None:
