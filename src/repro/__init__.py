@@ -69,7 +69,23 @@ from repro.metrics import (
 )
 from repro.multidim import MultiAttributeSW
 from repro.postprocess import norm_sub
+from repro.privacy import audit_budget
 from repro.protocol import SWClient, SWServer
+from repro.tasks import (
+    AnalysisPlan,
+    AnalysisReport,
+    AttributeSpec,
+    Distribution,
+    Marginals,
+    Mean,
+    Quantiles,
+    RangeQueries,
+    Session,
+    TaskResult,
+    Variance,
+    load_plan,
+    plan_analysis,
+)
 
 __version__ = "1.0.0"
 
@@ -126,5 +142,19 @@ __all__ = [
     "olh_variance",
     "required_population",
     "sw_exact_mutual_information",
+    "AnalysisPlan",
+    "AttributeSpec",
+    "Distribution",
+    "Mean",
+    "Variance",
+    "Quantiles",
+    "RangeQueries",
+    "Marginals",
+    "Session",
+    "TaskResult",
+    "AnalysisReport",
+    "plan_analysis",
+    "load_plan",
+    "audit_budget",
     "__version__",
 ]

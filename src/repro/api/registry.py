@@ -153,14 +153,21 @@ def make_estimator(name: str, epsilon: float, d: int | None = None, **kwargs):
 
 
 def list_estimators(
-    *, kind: str | None = None, tag: str | None = None
+    *, kind: str | None = None, tag: str | None = None, metric: str | None = None
 ) -> list[EstimatorSpec]:
-    """All registered specs (sorted by name), optionally filtered."""
+    """All registered specs (sorted by name), optionally filtered.
+
+    ``metric`` filters to estimators whose ``supported_metrics`` include it —
+    the capability query the task planner (:mod:`repro.tasks.planner`) uses
+    to answer "which mechanisms can serve a mean/quantile/range task?".
+    """
     specs = sorted(_REGISTRY.values(), key=lambda spec: spec.name)
     if kind is not None:
         specs = [spec for spec in specs if spec.kind == kind]
     if tag is not None:
         specs = [spec for spec in specs if tag in spec.tags]
+    if metric is not None:
+        specs = [spec for spec in specs if spec.supports(metric)]
     return specs
 
 

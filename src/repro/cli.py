@@ -8,7 +8,9 @@ Subcommands mirror the deployment workflow:
   server side);
 * ``estimate`` — both halves at once, for simulations;
 * ``audit`` — numerically verify a mechanism's LDP guarantee;
-* ``plan`` — back-of-envelope population sizing for a target accuracy.
+* ``plan`` — back-of-envelope population sizing for a target accuracy;
+* ``analyze`` — run a declarative analysis plan (``repro.tasks``) over a
+  CSV of raw per-user values and write typed task results as JSON.
 
 Examples::
 
@@ -20,6 +22,8 @@ Examples::
         --input values.txt --output histogram.csv
     python -m repro audit --shape square --epsilon 1.0
     python -m repro plan --epsilon 1.0 --target-std 0.002
+    python -m repro analyze --plan plan.json --input survey.csv \
+        --output results.json --seed 7
 """
 
 from __future__ import annotations
@@ -157,6 +161,45 @@ def _cmd_audit(args) -> int:
     return 0 if result.satisfied else 1
 
 
+def _cmd_analyze(args) -> int:
+    from repro.tasks import Session, load_plan, plan_analysis
+
+    plan = load_plan(args.plan)
+    planned = plan_analysis(plan)
+    if args.explain:
+        print(planned.describe())
+        return 0
+    missing = [
+        flag
+        for flag, value in (("--input", args.input), ("--output", args.output))
+        if value is None
+    ]
+    if missing:
+        print(
+            f"error: {', '.join(missing)} required (or use --explain)",
+            file=sys.stderr,
+        )
+        return 2
+    data = io.read_table(args.input)
+    rng = np.random.default_rng(args.seed)
+    session = Session.fit_sharded(
+        plan, data, shards=args.shards, rng=rng, planned=planned
+    )
+    report = session.results(
+        confidence=args.confidence, n_bootstrap=args.bootstrap, rng=rng
+    )
+    with open(args.output, "w") as handle:
+        handle.write(report.to_json() + "\n")
+    audit = session.audit()
+    print(planned.describe())
+    print(
+        f"answered {len(report)} tasks over "
+        f"{sum(session.n_reports.values())} reports "
+        f"(budget {'OK' if audit.satisfied else 'VIOLATION'}); wrote {args.output}"
+    )
+    return 0 if audit.satisfied else 1
+
+
 def _cmd_plan(args) -> int:
     n = required_population(args.epsilon, args.target_std, d=args.d)
     print(
@@ -215,6 +258,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, required=True)
     p.add_argument("--b", type=float, default=None)
     p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser(
+        "analyze", help="run a declarative analysis plan over a CSV of raw values"
+    )
+    p.add_argument("--plan", required=True, help="plan file (.json or .toml)")
+    p.add_argument("--input", default=None, help="CSV with one column per attribute")
+    p.add_argument("--output", default=None, help="results JSON")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="simulate N shard servers that merge before answering",
+    )
+    p.add_argument(
+        "--confidence", type=float, default=None,
+        help="bootstrap CI coverage, e.g. 0.9 (off by default)",
+    )
+    p.add_argument("--bootstrap", type=int, default=100, help="bootstrap resamples")
+    p.add_argument(
+        "--explain", action="store_true",
+        help="print the planner's mechanism/budget choices and exit",
+    )
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("plan", help="population sizing for a target accuracy")
     p.add_argument("--epsilon", type=float, required=True)

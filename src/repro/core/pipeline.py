@@ -186,6 +186,40 @@ class WaveEstimator(Estimator):
         self.ingest_counts(counts)
         return self.estimate()
 
+    def confidence_bands(
+        self,
+        *,
+        coverage: float = 0.9,
+        n_bootstrap: int = 100,
+        rng=None,
+    ):
+        """Parametric-bootstrap bands from the *current* aggregation state.
+
+        Unlike :func:`repro.core.confidence.estimator_confidence_bands`,
+        which simulates a fresh collection from raw values, this works from
+        the report counts already ingested — the only form of the data a
+        streaming server (or a task :class:`~repro.tasks.session.Session`)
+        still holds. Returns
+        :class:`~repro.core.confidence.ConfidenceBands`.
+        """
+        from repro.core.confidence import bootstrap_confidence_bands
+
+        if self._counts.sum() <= 0:
+            raise EmptyAggregateError("no reports ingested yet")
+        smoothing = (
+            self.smoothing_order if self.postprocess == "ems" else None
+        )
+        return bootstrap_confidence_bands(
+            self.transition_matrix,
+            self._counts,
+            coverage=coverage,
+            n_bootstrap=n_bootstrap,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            smoothing_order=smoothing,
+            rng=rng,
+        )
+
     # -- shard merge + serialization --------------------------------------
     def _merge_state(self, other: "WaveEstimator") -> None:
         self._counts += other._counts

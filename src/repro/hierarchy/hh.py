@@ -274,6 +274,11 @@ class HierarchicalHistogram(Estimator):
         self._level_n = np.zeros(self.tree.height + 1, dtype=np.int64)
         self.node_estimates_ = None
 
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested into the current aggregation state."""
+        return int(self._level_n.sum())
+
     # -- queries -----------------------------------------------------------
     def node_estimate(self, level: int, index: int) -> float:
         """Consistent frequency estimate of one tree node."""
@@ -308,6 +313,19 @@ class HierarchicalHistogram(Estimator):
         if hi_scaled > hi_full and hi_full < self.d:
             total += leaves[hi_full] * (hi_scaled - hi_full)
         return float(total)
+
+    def range_queries(self, windows) -> np.ndarray:
+        """Evaluate many ``(low, high)`` windows through the tree decomposition.
+
+        Batch form of :meth:`range_query` for analysts querying a fitted
+        tree directly; each window costs only O(branching * log d) node
+        lookups, versus the O(d) leaf scan of evaluating against the full
+        leaf histogram.
+        """
+        return np.asarray(
+            [self.range_query(float(low), float(high)) for low, high in windows],
+            dtype=np.float64,
+        )
 
     # -- shard merge + serialization --------------------------------------
     def _merge_state(self, other: "HierarchicalHistogram") -> None:

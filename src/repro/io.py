@@ -24,6 +24,7 @@ from repro.core.pipeline import SWEstimator
 __all__ = [
     "read_values",
     "write_values",
+    "read_table",
     "read_histogram_csv",
     "write_histogram_csv",
     "save_estimator_config",
@@ -54,6 +55,47 @@ def write_values(values: np.ndarray, path: str | Path) -> Path:
     arr = np.asarray(values, dtype=np.float64)
     path.write_text("\n".join(f"{v:.12g}" for v in arr) + "\n")
     return path
+
+
+def read_table(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a headed CSV into one float column per attribute.
+
+    The input format of the CLI's ``analyze`` subcommand: a header row of
+    attribute names, then one row per user. Every column is returned as a
+    float array; all columns share the user axis by construction. A UTF-8
+    BOM (Excel's default UTF-8 export) is tolerated.
+    """
+    with Path(path).open(newline="", encoding="utf-8-sig") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = [name.strip() for name in next(reader)]
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        if not header or any(not name for name in header):
+            raise ValueError(f"{path}: header must name every column")
+        if len(set(header)) != len(header):
+            raise ValueError(f"{path}: duplicate column names in header")
+        columns: list[list[float]] = [[] for _ in header]
+        for row_no, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{row_no}: expected {len(header)} columns, got {len(row)}"
+                )
+            for column, cell in zip(columns, row):
+                try:
+                    column.append(float(cell))
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{row_no}: not a number: {cell.strip()!r}"
+                    ) from None
+    if not columns[0]:
+        raise ValueError(f"{path}: no data rows found")
+    return {
+        name: np.asarray(column, dtype=np.float64)
+        for name, column in zip(header, columns)
+    }
 
 
 def write_histogram_csv(histogram: np.ndarray, path: str | Path) -> Path:

@@ -4,9 +4,11 @@ from repro.mean.piecewise import PiecewiseMechanism
 from repro.mean.scalar import ScalarMeanEstimator
 from repro.mean.stochastic_rounding import StochasticRounding
 from repro.mean.variance import (
+    SCALAR_REGIME_THRESHOLD,
     estimate_mean_unit,
     estimate_variance_unit,
     make_mechanism,
+    recommended_scalar_mechanism,
 )
 
 __all__ = [
@@ -14,6 +16,8 @@ __all__ = [
     "PiecewiseMechanism",
     "ScalarMeanEstimator",
     "make_mechanism",
+    "recommended_scalar_mechanism",
+    "SCALAR_REGIME_THRESHOLD",
     "estimate_mean_unit",
     "estimate_variance_unit",
 ]

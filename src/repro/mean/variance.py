@@ -18,9 +18,32 @@ from repro.mean.stochastic_rounding import StochasticRounding
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_epsilon, check_unit_values
 
-__all__ = ["make_mechanism", "estimate_mean_unit", "estimate_variance_unit"]
+__all__ = [
+    "make_mechanism",
+    "recommended_scalar_mechanism",
+    "estimate_mean_unit",
+    "estimate_variance_unit",
+    "SCALAR_REGIME_THRESHOLD",
+]
 
 _MECHANISMS = {"sr": StochasticRounding, "pm": PiecewiseMechanism}
+
+#: Regime boundary between SR and PM for mean-only estimation. PM's
+#: worst-case variance drops below SR's as epsilon grows; 0.61 is the
+#: switch point the PM paper's hybrid mechanism uses (Wang et al. [30],
+#: Section 3.3), and the regime-dependent choice Kairouz et al. advocate
+#: for discrete mechanisms carries over here.
+SCALAR_REGIME_THRESHOLD = 0.61
+
+
+def recommended_scalar_mechanism(epsilon: float) -> str:
+    """``"sr"`` in the small-epsilon regime, ``"pm"`` otherwise.
+
+    The paper's Section 8 guidance for mean-*only* workloads: use a
+    task-specific scalar mechanism rather than a full distribution
+    estimate, picking SR below :data:`SCALAR_REGIME_THRESHOLD` and PM above.
+    """
+    return "sr" if check_epsilon(epsilon) <= SCALAR_REGIME_THRESHOLD else "pm"
 
 
 def make_mechanism(name: str, epsilon: float):

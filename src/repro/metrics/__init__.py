@@ -11,6 +11,7 @@ Two families:
 from repro.metrics.distances import ks_distance, wasserstein_distance
 from repro.metrics.queries import (
     random_range_queries,
+    range_queries,
     range_query,
     range_query_mae,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "wasserstein_distance",
     "ks_distance",
     "range_query",
+    "range_queries",
     "random_range_queries",
     "range_query_mae",
     "mean_error",

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 
-__all__ = ["range_query", "random_range_queries", "range_query_mae"]
+__all__ = ["range_query", "range_queries", "random_range_queries", "range_query_mae"]
 
 
 def range_query(x: np.ndarray, left: float, alpha: float) -> float:
@@ -36,6 +36,22 @@ def range_query(x: np.ndarray, left: float, alpha: float) -> float:
     # Covered fraction of each bucket [i, i+1) under the window [lo, hi).
     cover = np.clip(np.minimum(hi, idx + 1) - np.maximum(lo, idx), 0.0, 1.0)
     return float(arr @ cover)
+
+
+def range_queries(x: np.ndarray, windows) -> np.ndarray:
+    """Evaluate many absolute windows ``[low, high]`` against one histogram.
+
+    ``windows`` is a sequence of ``(low, high)`` endpoint pairs on the unit
+    domain; the return value is the estimated mass of each window, in
+    order. This is the batch form a task plan's ``RangeQueries`` task uses.
+    """
+    out = []
+    for window in windows:
+        low, high = (float(window[0]), float(window[1]))
+        if high < low:
+            raise ValueError(f"window endpoints must satisfy low <= high, got {window}")
+        out.append(range_query(x, low, high - low))
+    return np.asarray(out, dtype=np.float64)
 
 
 def random_range_queries(

@@ -1,5 +1,9 @@
 """Multi-attribute collection via population splitting."""
 
-from repro.multidim.marginals import MultiAttributeReports, MultiAttributeSW
+from repro.multidim.marginals import (
+    MultiAttributeReports,
+    MultiAttributeSW,
+    split_population,
+)
 
-__all__ = ["MultiAttributeSW", "MultiAttributeReports"]
+__all__ = ["MultiAttributeSW", "MultiAttributeReports", "split_population"]

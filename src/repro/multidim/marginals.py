@@ -28,7 +28,23 @@ from repro.core.pipeline import SWEstimator
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_domain_size, check_epsilon
 
-__all__ = ["MultiAttributeReports", "MultiAttributeSW"]
+__all__ = ["MultiAttributeReports", "MultiAttributeSW", "split_population"]
+
+
+def split_population(n: int, k: int, rng=None) -> np.ndarray:
+    """Assign each of ``n`` users one of ``k`` slots uniformly at random.
+
+    The standard multi-attribute LDP recipe (Section 4.2 rationale): each
+    user spends their whole budget on a single attribute/slot, because LDP
+    noise scales much worse with epsilon than estimate counts do with users.
+    Used by :class:`MultiAttributeSW` and by population-split task sessions
+    (:mod:`repro.tasks.session`).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return as_generator(rng).integers(0, k, size=n)
 
 
 @dataclass(frozen=True)
@@ -99,7 +115,7 @@ class MultiAttributeSW(Estimator):
         arr = self._check_matrix(values)
         gen = as_generator(rng)
         n = arr.shape[0]
-        assignment = gen.integers(0, self.n_attributes, size=n)
+        assignment = split_population(n, self.n_attributes, gen)
         reports = np.empty(n, dtype=np.float64)
         for a in range(self.n_attributes):
             mask = assignment == a

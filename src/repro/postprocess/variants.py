@@ -56,7 +56,9 @@ def norm_mul(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:
     mass = clamped.sum()
     if mass == 0:
         return np.full(arr.size, total / arr.size)
-    return clamped * (total / mass)
+    # Divide before scaling: every entry is <= mass, so the ratio stays in
+    # [0, 1] even when mass is subnormal (total / mass would overflow).
+    return clamped / mass * total
 
 
 def norm_cut(estimates: np.ndarray, total: float = 1.0) -> np.ndarray:

@@ -1,5 +1,17 @@
 """Numerical privacy auditing for implemented mechanisms."""
 
-from repro.privacy.audit import AuditResult, audit_continuous_mechanism, audit_matrix
+from repro.privacy.audit import (
+    AuditResult,
+    PlanAuditResult,
+    audit_budget,
+    audit_continuous_mechanism,
+    audit_matrix,
+)
 
-__all__ = ["AuditResult", "audit_continuous_mechanism", "audit_matrix"]
+__all__ = [
+    "AuditResult",
+    "PlanAuditResult",
+    "audit_budget",
+    "audit_continuous_mechanism",
+    "audit_matrix",
+]

@@ -8,17 +8,30 @@ catch implementation bugs: a mechanism whose realized density ratio exceeds
   mechanism and bounds ``max pdf(v1, out) / pdf(v2, out)``;
 * ``audit_matrix`` checks a per-value transition matrix (GRR, discrete SW),
   where each column *is* the exact output distribution of one input.
+
+Plan-level accounting lives here too: ``audit_budget`` verifies that an
+analysis plan's per-attribute epsilon allocation composes to no more than
+the declared per-user budget (sequential composition when every user
+reports every attribute, parallel composition when the population is split
+and each user reports exactly one attribute).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.validation import check_epsilon
 
-__all__ = ["AuditResult", "audit_continuous_mechanism", "audit_matrix"]
+__all__ = [
+    "AuditResult",
+    "PlanAuditResult",
+    "audit_continuous_mechanism",
+    "audit_matrix",
+    "audit_budget",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +51,63 @@ class AuditResult:
     def effective_epsilon(self) -> float:
         """``log(max_ratio)`` — the privacy level the audit actually observed."""
         return float(np.log(self.max_ratio))
+
+
+@dataclass(frozen=True)
+class PlanAuditResult:
+    """Outcome of a plan-level budget audit.
+
+    ``per_user_epsilon`` is the worst-case budget any single user spends
+    under the declared composition rule; ``satisfied`` compares it to the
+    plan budget with a small float-tolerance margin.
+    """
+
+    epsilon_budget: float
+    per_user_epsilon: float
+    composition: str
+    per_attribute: tuple[tuple[str, float], ...]
+
+    @property
+    def satisfied(self) -> bool:
+        return self.per_user_epsilon <= self.epsilon_budget * (1.0 + 1e-9)
+
+    @property
+    def slack(self) -> float:
+        """Unspent budget (negative means the allocation over-spends)."""
+        return self.epsilon_budget - self.per_user_epsilon
+
+
+def audit_budget(
+    per_attribute: Mapping[str, float],
+    epsilon_budget: float,
+    *,
+    composition: str = "sequential",
+) -> PlanAuditResult:
+    """Verify a per-attribute epsilon allocation against a per-user budget.
+
+    ``composition="sequential"`` models every user reporting every
+    attribute (budgets add up); ``"parallel"`` models population splitting,
+    where each user reports exactly one attribute and the per-user spend is
+    the worst single allocation.
+    """
+    epsilon_budget = check_epsilon(epsilon_budget)
+    if composition not in ("sequential", "parallel"):
+        raise ValueError(
+            f"composition must be 'sequential' or 'parallel', got {composition!r}"
+        )
+    if not per_attribute:
+        raise ValueError("per_attribute allocation must be non-empty")
+    allocations = tuple(
+        (str(name), check_epsilon(eps)) for name, eps in per_attribute.items()
+    )
+    spends = [eps for _, eps in allocations]
+    per_user = sum(spends) if composition == "sequential" else max(spends)
+    return PlanAuditResult(
+        epsilon_budget=epsilon_budget,
+        per_user_epsilon=float(per_user),
+        composition=composition,
+        per_attribute=allocations,
+    )
 
 
 def audit_continuous_mechanism(

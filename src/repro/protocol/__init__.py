@@ -1,7 +1,14 @@
 """Deployment-shaped client/server layer for SW collection rounds."""
 
 from repro.protocol.client import SWClient
-from repro.protocol.messages import PROTOCOL_VERSION, SWReport, decode_batch, encode_batch
+from repro.protocol.messages import (
+    DEFAULT_ATTR,
+    PROTOCOL_VERSION,
+    SWReport,
+    decode_batch,
+    decode_batch_grouped,
+    encode_batch,
+)
 from repro.protocol.server import SWServer
 
 __all__ = [
@@ -9,6 +16,8 @@ __all__ = [
     "SWServer",
     "SWReport",
     "PROTOCOL_VERSION",
+    "DEFAULT_ATTR",
     "encode_batch",
     "decode_batch",
+    "decode_batch_grouped",
 ]

@@ -1,9 +1,11 @@
 """Wire format for SW collection rounds.
 
 A deployment sends one small message per user. ``SWReport`` is that message:
-the protocol version, the collection round it belongs to, and the randomized
+the protocol version, the collection round it belongs to, the attribute the
+report is for (multi-attribute sessions share one feed), and the randomized
 float. JSON-lines encoding keeps the format greppable and language-neutral;
-``encode_batch``/``decode_batch`` handle whole files.
+``encode_batch``/``decode_batch`` handle whole files and
+``decode_batch_grouped`` splits a mixed feed per attribute.
 
 Nothing privacy-relevant lives here — by the time a value reaches a report
 it is already randomized — but decoding *validates* that reports fall inside
@@ -14,25 +16,46 @@ instead of silently biasing the estimate.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PROTOCOL_VERSION", "SWReport", "encode_batch", "decode_batch"]
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_ATTR",
+    "SWReport",
+    "encode_batch",
+    "decode_batch",
+    "decode_batch_grouped",
+]
 
 PROTOCOL_VERSION = 1
+
+#: Attribute id single-attribute rounds implicitly report under. Lines
+#: written before the field existed decode to this, so old feeds stay valid.
+DEFAULT_ATTR = "value"
 
 
 @dataclass(frozen=True)
 class SWReport:
-    """One user's randomized report for one collection round."""
+    """One user's randomized report for one collection round.
+
+    ``attr`` identifies which attribute of a multi-attribute session the
+    report belongs to; single-attribute rounds leave it at
+    :data:`DEFAULT_ATTR` and the wire line omits it entirely, so the format
+    is byte-identical to the pre-``attr`` protocol in that case.
+    """
 
     round_id: str
     value: float
     version: int = PROTOCOL_VERSION
+    attr: str = DEFAULT_ATTR
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), separators=(",", ":"))
+        data = {"round_id": self.round_id, "value": self.value, "version": self.version}
+        if self.attr != DEFAULT_ATTR:
+            data["attr"] = self.attr
+        return json.dumps(data, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, line: str) -> "SWReport":
@@ -42,6 +65,7 @@ class SWReport:
                 round_id=str(data["round_id"]),
                 value=float(data["value"]),
                 version=int(data.get("version", PROTOCOL_VERSION)),
+                attr=str(data.get("attr", DEFAULT_ATTR)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"malformed SW report line: {line!r}") from exc
@@ -55,17 +79,15 @@ class SWReport:
         return report
 
 
-def encode_batch(round_id: str, values: np.ndarray) -> str:
+def encode_batch(round_id: str, values: np.ndarray, attr: str = DEFAULT_ATTR) -> str:
     """Encode randomized values as JSON lines (one report per line)."""
     arr = np.asarray(values, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError("values must be 1-dimensional")
-    return "\n".join(SWReport(round_id, float(v)).to_json() for v in arr)
+    return "\n".join(SWReport(round_id, float(v), attr=attr).to_json() for v in arr)
 
 
-def decode_batch(payload: str, expected_round: str | None = None) -> np.ndarray:
-    """Decode JSON lines into a report array, checking round consistency."""
-    values = []
+def _iter_reports(payload: str, expected_round: str | None):
     for line in payload.splitlines():
         if not line.strip():
             continue
@@ -75,7 +97,44 @@ def decode_batch(payload: str, expected_round: str | None = None) -> np.ndarray:
                 f"report for round {report.round_id!r} mixed into "
                 f"round {expected_round!r}"
             )
+        yield report
+
+
+def decode_batch(
+    payload: str,
+    expected_round: str | None = None,
+    expected_attr: str | None = None,
+) -> np.ndarray:
+    """Decode JSON lines into a report array, checking feed consistency.
+
+    ``expected_attr`` (when given) rejects reports for any other attribute —
+    the guard a single-attribute server uses against a mixed
+    multi-attribute feed. The default accepts everything, preserving the
+    pre-``attr`` behaviour.
+    """
+    values = []
+    for report in _iter_reports(payload, expected_round):
+        if expected_attr is not None and report.attr != expected_attr:
+            raise ValueError(
+                f"report for attribute {report.attr!r} mixed into "
+                f"attribute {expected_attr!r}"
+            )
         values.append(report.value)
     if not values:
         raise ValueError("payload contained no reports")
     return np.asarray(values, dtype=np.float64)
+
+
+def decode_batch_grouped(
+    payload: str, expected_round: str | None = None
+) -> dict[str, np.ndarray]:
+    """Decode a mixed multi-attribute feed into per-attribute report arrays."""
+    groups: dict[str, list[float]] = {}
+    for report in _iter_reports(payload, expected_round):
+        groups.setdefault(report.attr, []).append(report.value)
+    if not groups:
+        raise ValueError("payload contained no reports")
+    return {
+        attr: np.asarray(values, dtype=np.float64)
+        for attr, values in groups.items()
+    }

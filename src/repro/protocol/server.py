@@ -26,7 +26,7 @@ from repro.api.base import Estimator
 from repro.api.config import DEFAULT_MAX_ITER, EMConfig
 from repro.core.em import EMResult
 from repro.core.pipeline import SWEstimator
-from repro.protocol.messages import SWReport, decode_batch
+from repro.protocol.messages import DEFAULT_ATTR, SWReport, decode_batch
 
 __all__ = ["SWServer"]
 
@@ -43,6 +43,11 @@ class SWServer:
     postprocess, tol, max_iter:
         EM/EMS controls; equivalently pass a pre-built ``config``
         (:class:`repro.api.EMConfig`), which takes precedence.
+    attr:
+        Attribute id this single-attribute round serves. Batch decoding
+        rejects reports stamped with any other attribute, so a mixed
+        multi-attribute session feed fails loudly instead of being
+        silently folded into one histogram.
     """
 
     def __init__(
@@ -56,10 +61,12 @@ class SWServer:
         tol: float | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         config: EMConfig | None = None,
+        attr: str = DEFAULT_ATTR,
     ) -> None:
         if config is None:
             config = EMConfig(postprocess=postprocess, tol=tol, max_iter=max_iter)
         self.round_id = str(round_id)
+        self.attr = str(attr)
         self._estimator = SWEstimator(epsilon, d, b=b, config=config)
 
     # -- delegated views ---------------------------------------------------
@@ -119,11 +126,18 @@ class SWServer:
                 f"report for round {report.round_id!r} sent to round "
                 f"{self.round_id!r}"
             )
+        if report.attr != self.attr:
+            raise ValueError(
+                f"report for attribute {report.attr!r} sent to server for "
+                f"attribute {self.attr!r}"
+            )
         self._estimator.ingest(np.array([report.value]))
 
     def ingest_batch(self, payload: str) -> int:
         """Add a JSON-lines batch; returns the number of reports ingested."""
-        values = decode_batch(payload, expected_round=self.round_id)
+        values = decode_batch(
+            payload, expected_round=self.round_id, expected_attr=self.attr
+        )
         self._estimator.ingest(values)
         return values.size
 
@@ -145,6 +159,11 @@ class SWServer:
                 f"cannot merge round {other.round_id!r} into round "
                 f"{self.round_id!r}"
             )
+        if other.attr != self.attr:
+            raise ValueError(
+                f"cannot merge attribute {other.attr!r} into attribute "
+                f"{self.attr!r}"
+            )
         self._estimator.merge(other._estimator)
         return self
 
@@ -153,6 +172,7 @@ class SWServer:
         return {
             "class": "repro.protocol.server:SWServer",
             "round_id": self.round_id,
+            "attr": self.attr,
             "sw": self._estimator.to_state(),
         }
 
@@ -168,6 +188,7 @@ class SWServer:
             inner.d,
             b=inner.mechanism.b,
             config=inner.config,
+            attr=payload.get("attr", DEFAULT_ATTR),
         )
         server._estimator = inner
         return server

@@ -1,0 +1,61 @@
+"""repro.tasks — the analyst-facing front door.
+
+Declare *what* you want to know (:class:`AnalysisPlan`: attributes +
+tasks + budget), let the planner pick mechanisms and allocate budget per
+the paper's Section 8 guidance (:func:`plan_analysis`), and execute
+through a streaming, mergeable :class:`Session` that returns typed
+:class:`TaskResult` objects in real-world units::
+
+    from repro.tasks import AnalysisPlan, AttributeSpec, Mean, Quantiles, Session
+
+    plan = AnalysisPlan(
+        epsilon=1.0,
+        attributes=(AttributeSpec("income", low=0, high=250_000, d=256),),
+        tasks=(Mean("income"), Quantiles("income")),
+    )
+    session = Session(plan)
+    session.partial_fit({"income": incomes})
+    report = session.results()
+    report["mean:income"].value
+"""
+
+from repro.tasks.plan import (
+    ATTRIBUTE_KINDS,
+    SPLIT_STRATEGIES,
+    AnalysisPlan,
+    AttributeSpec,
+    Distribution,
+    Marginals,
+    Mean,
+    Quantiles,
+    RangeQueries,
+    Task,
+    Variance,
+    load_plan,
+    task_from_dict,
+)
+from repro.tasks.planner import MechanismChoice, PlannedAnalysis, plan_analysis
+from repro.tasks.results import AnalysisReport, TaskResult
+from repro.tasks.session import Session
+
+__all__ = [
+    "AnalysisPlan",
+    "AttributeSpec",
+    "Task",
+    "Distribution",
+    "Mean",
+    "Variance",
+    "Quantiles",
+    "RangeQueries",
+    "Marginals",
+    "task_from_dict",
+    "load_plan",
+    "ATTRIBUTE_KINDS",
+    "SPLIT_STRATEGIES",
+    "MechanismChoice",
+    "PlannedAnalysis",
+    "plan_analysis",
+    "TaskResult",
+    "AnalysisReport",
+    "Session",
+]

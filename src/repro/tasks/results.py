@@ -1,0 +1,153 @@
+"""Typed task results: what a Session hands back to the analyst.
+
+Every task in an :class:`~repro.tasks.plan.AnalysisPlan` resolves to one
+:class:`TaskResult` carrying the answer *in the attribute's real-world
+units*, the confidence interval (when requested — parametric bootstrap via
+:mod:`repro.core.confidence`), the epsilon actually spent on the serving
+attribute, and the mechanism the planner chose. An
+:class:`AnalysisReport` bundles them with the plan-level budget audit and
+round-trips through JSON for dashboards and shard operators.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TaskResult", "AnalysisReport"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars into plain JSON data."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One answered task.
+
+    Attributes
+    ----------
+    task / attribute:
+        Identity, matching the plan task's ``key`` (``"task:attribute"``).
+    value:
+        The answer in real-world units: a float (mean, variance), a tuple
+        of floats (quantiles, range-query masses), a list (distribution
+        histogram), or a name-to-histogram dict (marginals).
+    ci:
+        Optional ``(lower, upper)`` confidence bounds with the same shape
+        as ``value``; ``None`` when no interval was requested or the
+        mechanism has no bootstrap model.
+    confidence:
+        Two-sided coverage of ``ci`` (e.g. 0.9), or ``None``.
+    epsilon_spent:
+        Budget allocated to the attribute serving this task.
+    mechanism:
+        Registry name of the serving estimator.
+    n_reports:
+        Reports aggregated into the answer.
+    detail:
+        Task-specific context (quantile betas, window endpoints, bucket
+        edges) so the result is interpretable standalone.
+    """
+
+    task: str
+    attribute: str
+    value: Any
+    ci: Any = None
+    confidence: float | None = None
+    epsilon_spent: float = 0.0
+    mechanism: str = ""
+    n_reports: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.task}:{self.attribute}"
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "attribute": self.attribute,
+            "value": _jsonify(self.value),
+            "ci": _jsonify(self.ci),
+            "confidence": self.confidence,
+            "epsilon_spent": float(self.epsilon_spent),
+            "mechanism": self.mechanism,
+            "n_reports": int(self.n_reports),
+            "detail": _jsonify(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskResult":
+        return cls(
+            task=data["task"],
+            attribute=data["attribute"],
+            value=data["value"],
+            ci=data.get("ci"),
+            confidence=data.get("confidence"),
+            epsilon_spent=float(data.get("epsilon_spent", 0.0)),
+            mechanism=data.get("mechanism", ""),
+            n_reports=int(data.get("n_reports", 0)),
+            detail=data.get("detail", {}),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All of a plan's task results plus the budget accounting."""
+
+    results: tuple[TaskResult, ...]
+    epsilon_budget: float
+    per_user_epsilon: float
+    composition: str
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, key: str) -> TaskResult:
+        for result in self.results:
+            if result.key == key:
+                return result
+        raise KeyError(f"no result {key!r}; available: {sorted(self.keys())}")
+
+    def keys(self) -> list[str]:
+        return [result.key for result in self.results]
+
+    def to_dict(self) -> dict:
+        return {
+            "epsilon_budget": float(self.epsilon_budget),
+            "per_user_epsilon": float(self.per_user_epsilon),
+            "composition": self.composition,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisReport":
+        return cls(
+            results=tuple(TaskResult.from_dict(r) for r in data["results"]),
+            epsilon_budget=float(data["epsilon_budget"]),
+            per_user_epsilon=float(data["per_user_epsilon"]),
+            composition=data["composition"],
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisReport":
+        return cls.from_dict(json.loads(text))

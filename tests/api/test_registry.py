@@ -52,6 +52,15 @@ class TestRegistryContents:
         assert kinds == {"distribution"}
         assert {s.name for s in list_estimators(kind="scalar")} == {"sr", "pm"}
 
+    def test_metric_filter(self):
+        """The planner's capability query: who can answer this metric?"""
+        mean_capable = {s.name for s in list_estimators(metric="mean")}
+        assert {"sw-ems", "sr", "pm"} <= mean_capable
+        assert "hh" not in mean_capable
+        range_capable = {s.name for s in list_estimators(metric="range-0.1")}
+        assert {"hh", "haar-hrr", "hh-admm", "sw-ems"} <= range_capable
+        assert "sr" not in range_capable
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown estimator"):
             make_estimator("dp-sgd", 1.0, D)

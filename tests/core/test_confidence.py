@@ -109,3 +109,23 @@ class TestEstimatorBands:
         rerun_scale = np.abs(rerun - bands.point).mean()
         assert bands.width.mean() > 0.3 * rerun_scale
         assert bands.width.mean() < 30 * rerun_scale
+
+
+class TestBandsFromCounts:
+    def test_streaming_estimator_bands(self, beta_values):
+        """Bands computed from already-ingested counts, no raw values needed."""
+        estimator = SWEstimator(1.0, d=32)
+        estimator.partial_fit(beta_values, rng=np.random.default_rng(5))
+        bands = estimator.confidence_bands(n_bootstrap=20, rng=0)
+        assert bands.coverage == 0.9
+        assert (bands.lower <= bands.upper + 1e-12).all()
+        inside = (bands.point >= bands.lower - 1e-9) & (
+            bands.point <= bands.upper + 1e-9
+        )
+        assert inside.mean() > 0.9
+
+    def test_empty_state_raises(self):
+        from repro import EmptyAggregateError
+
+        with pytest.raises(EmptyAggregateError):
+            SWEstimator(1.0, d=32).confidence_bands()

@@ -85,3 +85,26 @@ class TestMakeMethod:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown method"):
             make_method("dp-sgd", 1.0, 64)
+
+
+class TestMakeMethodDeprecationShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="make_estimator"):
+            make_method("sw-ems", 1.0, 64)
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_matches_make_estimator(self, name):
+        """The shim builds the same estimator repro.api.make_estimator does."""
+        from repro.api import make_estimator
+
+        shimmed = make_method(name, 1.0, 64)
+        direct = make_estimator(name, 1.0, 64)
+        assert type(shimmed) is type(direct)
+        assert shimmed._params() == direct._params()
+
+    def test_unknown_name_warns_before_rejecting(self):
+        """Even the error path goes through the deprecation warning."""
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown method"):
+                make_method("nope", 1.0, 64)

@@ -1,0 +1,85 @@
+"""Tests for the Table-2-as-plans comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plans import (
+    DEFAULT_RANGE_WINDOWS,
+    report_errors,
+    run_plan_trial,
+    table2_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def sample() -> dict:
+    return {"value": np.random.default_rng(41).beta(5.0, 2.0, 20_000)}
+
+
+class TestTable2Plan:
+    def test_covers_table2_task_columns(self):
+        plan = table2_plan(1.0, d=64)
+        assert sorted(t.task for t in plan.tasks) == [
+            "distribution",
+            "mean",
+            "quantiles",
+            "range_queries",
+            "variance",
+        ]
+
+    def test_windows_cover_both_table2_widths(self):
+        widths = {round(hi - lo, 10) for lo, hi in DEFAULT_RANGE_WINDOWS}
+        assert widths == {0.1, 0.4}
+
+    def test_single_attribute_unit_domain(self):
+        plan = table2_plan(0.5, d=32)
+        (spec,) = plan.attributes
+        assert (spec.low, spec.high) == (0.0, 1.0)
+        assert spec.d == 32
+
+
+class TestRunAndScore:
+    def test_sharded_run_scores_every_task(self, sample):
+        plan = table2_plan(1.0, d=64)
+        report = run_plan_trial(
+            plan, sample, shards=2, rng=np.random.default_rng(3)
+        )
+        errors = report_errors(report, plan, sample)
+        assert set(errors) == {t.key for t in plan.tasks}
+        # Paper-scale sanity: unit-domain errors from 20k users at eps=1.
+        assert errors["mean:value"] < 0.05
+        assert errors["distribution:value"] < 0.05
+        assert errors["quantiles:value"] < 0.05
+        assert errors["range_queries:value"] < 0.1
+
+    def test_shards_equal_single_run_report_count(self, sample):
+        plan = table2_plan(1.0, d=32)
+        single = run_plan_trial(plan, sample, rng=np.random.default_rng(5))
+        sharded = run_plan_trial(
+            plan, sample, shards=3, rng=np.random.default_rng(5)
+        )
+        assert single["mean:value"].n_reports == sharded["mean:value"].n_reports
+
+    def test_bad_shards_rejected(self, sample):
+        with pytest.raises(ValueError, match="shards"):
+            run_plan_trial(table2_plan(1.0, d=32), sample, shards=0)
+
+    def test_seed_like_rng_gives_independent_shard_noise(self, sample):
+        """An int seed must not be re-materialized per shard — identical
+        noise in every shard would bias the merged estimate."""
+        from repro.tasks import Session
+
+        plan = table2_plan(1.0, d=32)
+        # Both shards hold the same values: only randomization can differ.
+        data = {"value": np.tile(sample["value"][:2000], 2)}
+        merged = run_plan_trial(plan, data, shards=2, rng=7)
+        single = Session(plan).partial_fit(
+            {"value": data["value"][:2000]}, rng=7
+        ).results()
+        # Correlated shards would double identical counts, reproducing the
+        # single-shard reconstruction exactly; independent noise differs.
+        assert merged["mean:value"].n_reports == 4000
+        assert not np.array_equal(
+            merged["distribution:value"].value,
+            single["distribution:value"].value,
+        )

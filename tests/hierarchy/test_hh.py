@@ -99,6 +99,20 @@ class TestHHRangeQuery:
             true_mass = truth[int(lo * 64) : int(hi * 64)].sum()
             assert fitted.range_query(lo, hi) == pytest.approx(true_mass, abs=0.05)
 
+    def test_batch_matches_singles(self, fitted):
+        windows = [(0.1, 0.3), (0.5, 0.9), (0.0, 1.0)]
+        batch = fitted.range_queries(windows)
+        singles = [fitted.range_query(lo, hi) for lo, hi in windows]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_n_reports_tracks_ingestion(self, beta_values):
+        hh = HierarchicalHistogram(1.0, d=64, branching=4)
+        assert hh.n_reports == 0
+        hh.partial_fit(beta_values[:1000], rng=np.random.default_rng(0))
+        assert hh.n_reports == 1000
+        hh.partial_fit(beta_values[1000:1500], rng=np.random.default_rng(1))
+        assert hh.n_reports == 1500
+
     def test_rejects_bad_range(self, fitted):
         with pytest.raises(ValueError):
             fitted.range_query(0.5, 0.4)

@@ -6,7 +6,25 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.metrics.queries import random_range_queries, range_query, range_query_mae
+from repro.metrics.queries import (
+    random_range_queries,
+    range_queries,
+    range_query,
+    range_query_mae,
+)
+
+
+class TestRangeQueriesBatch:
+    def test_matches_single_queries(self, rng):
+        hist = rng.dirichlet(np.ones(32))
+        windows = [(0.0, 0.25), (0.1, 0.9), (0.5, 0.5)]
+        batch = range_queries(hist, windows)
+        singles = [range_query(hist, lo, hi - lo) for lo, hi in windows]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            range_queries(np.array([1.0]), [(0.8, 0.2)])
 
 
 class TestRangeQuery:

@@ -56,6 +56,17 @@ class TestPrivatize:
         share = (reports.attribute == 0).mean()
         assert share == pytest.approx(0.5, abs=0.02)
 
+    def test_split_population_helper(self, rng):
+        from repro.multidim import split_population
+
+        assignment = split_population(10_000, 4, rng)
+        assert assignment.shape == (10_000,)
+        assert set(np.unique(assignment)) <= {0, 1, 2, 3}
+        for slot in range(4):
+            assert (assignment == slot).mean() == pytest.approx(0.25, abs=0.03)
+        with pytest.raises(ValueError, match="n must be"):
+            split_population(0, 2, rng)
+
     def test_reports_in_sw_domain(self, two_attribute_data, rng):
         est = MultiAttributeSW(1.0, n_attributes=2, d=64)
         reports = est.privatize(two_attribute_data, rng=rng)

@@ -5,11 +5,13 @@ import pytest
 
 from repro.metrics.distances import wasserstein_distance
 from repro.protocol import (
+    DEFAULT_ATTR,
     PROTOCOL_VERSION,
     SWClient,
     SWReport,
     SWServer,
     decode_batch,
+    decode_batch_grouped,
     encode_batch,
 )
 
@@ -49,6 +51,87 @@ class TestMessages:
     def test_empty_payload_rejected(self):
         with pytest.raises(ValueError, match="no reports"):
             decode_batch("\n\n")
+
+
+class TestAttributeField:
+    def test_defaults_to_value(self):
+        assert SWReport("r", 0.1).attr == DEFAULT_ATTR == "value"
+
+    def test_attr_roundtrip(self):
+        report = SWReport("r", 0.25, attr="income")
+        assert SWReport.from_json(report.to_json()) == report
+
+    def test_default_attr_keeps_old_wire_format(self):
+        """Single-attribute lines are byte-identical to the pre-attr protocol."""
+        line = SWReport("r", 0.5).to_json()
+        assert "attr" not in line
+
+    def test_decodes_pre_attr_lines(self):
+        """Lines written before the field existed decode to the default."""
+        old = '{"round_id": "r", "value": 0.1, "version": 1}'
+        assert SWReport.from_json(old).attr == DEFAULT_ATTR
+
+    def test_expected_attr_accepts_matching(self, rng):
+        payload = encode_batch("r", rng.random(5), attr="age")
+        assert decode_batch(payload, expected_round="r", expected_attr="age").size == 5
+
+    def test_expected_attr_rejects_mixed_feed(self, rng):
+        payload = "\n".join(
+            [encode_batch("r", rng.random(3), attr="age"),
+             encode_batch("r", rng.random(2), attr="income")]
+        )
+        with pytest.raises(ValueError, match="attribute.*mixed"):
+            decode_batch(payload, expected_round="r", expected_attr="age")
+
+    def test_grouped_decode(self, rng):
+        ages, incomes = rng.random(4), rng.random(6)
+        payload = "\n".join(
+            [encode_batch("r", ages, attr="age"),
+             encode_batch("r", incomes, attr="income")]
+        )
+        groups = decode_batch_grouped(payload, expected_round="r")
+        assert set(groups) == {"age", "income"}
+        np.testing.assert_allclose(groups["age"], ages)
+        np.testing.assert_allclose(groups["income"], incomes)
+
+    def test_grouped_decode_checks_round(self, rng):
+        payload = encode_batch("round-a", rng.random(3), attr="age")
+        with pytest.raises(ValueError, match="mixed"):
+            decode_batch_grouped(payload, expected_round="round-b")
+
+    def test_grouped_decode_empty_rejected(self):
+        with pytest.raises(ValueError, match="no reports"):
+            decode_batch_grouped("  \n ")
+
+    def test_server_rejects_foreign_attribute_batch(self, rng):
+        """A mixed multi-attribute feed cannot silently fold into one round."""
+        server = SWServer("r", epsilon=1.0, d=32)
+        low = server.mechanism.output_low
+        payload = encode_batch("r", np.full(3, low + 0.1), attr="income")
+        with pytest.raises(ValueError, match="attribute"):
+            server.ingest_batch(payload)
+
+    def test_server_rejects_foreign_attribute_report(self):
+        server = SWServer("r", epsilon=1.0, d=32)
+        with pytest.raises(ValueError, match="attribute"):
+            server.ingest(SWReport("r", 0.1, attr="income"))
+
+    def test_server_with_matching_attr_accepts(self, rng):
+        client = SWClient("r", epsilon=1.0)
+        server = SWServer("r", epsilon=1.0, d=32, attr="income")
+        reports = client.mechanism.privatize(rng.random(10), rng=rng)
+        assert server.ingest_batch(encode_batch("r", reports, attr="income")) == 10
+
+    def test_server_attr_survives_state_roundtrip(self):
+        server = SWServer("r", epsilon=1.0, d=32, attr="income")
+        rebuilt = SWServer.from_state(server.to_state())
+        assert rebuilt.attr == "income"
+
+    def test_server_merge_checks_attr(self):
+        a = SWServer("r", epsilon=1.0, d=32, attr="income")
+        b = SWServer("r", epsilon=1.0, d=32, attr="age")
+        with pytest.raises(ValueError, match="attribute"):
+            a.merge(b)
 
 
 class TestClient:

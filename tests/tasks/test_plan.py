@@ -1,0 +1,201 @@
+"""Unit tests for declarative plans: validation + serialization."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import (
+    AnalysisPlan,
+    AttributeSpec,
+    Distribution,
+    Marginals,
+    Mean,
+    Quantiles,
+    RangeQueries,
+    Variance,
+    load_plan,
+    task_from_dict,
+)
+
+
+def two_attr_plan(**kwargs) -> AnalysisPlan:
+    return AnalysisPlan(
+        epsilon=1.0,
+        attributes=(
+            AttributeSpec("income", low=0.0, high=100_000.0, d=128),
+            AttributeSpec("age", low=18.0, high=90.0, d=64),
+        ),
+        tasks=(
+            Mean("income"),
+            Quantiles("income", quantiles=(0.5,)),
+            RangeQueries("age", windows=((20.0, 30.0),)),
+        ),
+        **kwargs,
+    )
+
+
+class TestAttributeSpec:
+    def test_unit_mapping_roundtrip(self):
+        spec = AttributeSpec("x", low=10.0, high=20.0)
+        values = np.array([10.0, 15.0, 20.0])
+        np.testing.assert_allclose(spec.to_unit(values), [0.0, 0.5, 1.0])
+        np.testing.assert_allclose(spec.from_unit(spec.to_unit(values)), values)
+
+    def test_out_of_domain_rejected(self):
+        spec = AttributeSpec("x", low=0.0, high=1.0)
+        with pytest.raises(ValueError, match="inside"):
+            spec.to_unit(np.array([1.5]))
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError, match="low < high"):
+            AttributeSpec("x", low=1.0, high=1.0)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            AttributeSpec("x", kind="categorical")
+
+    def test_bucket_edges_span_domain(self):
+        spec = AttributeSpec("x", low=0.0, high=10.0, d=4)
+        np.testing.assert_allclose(spec.bucket_edges(), [0.0, 2.5, 5.0, 7.5, 10.0])
+
+
+class TestTaskValidation:
+    def test_quantiles_outside_unit_rejected(self):
+        with pytest.raises(ValueError, match="quantiles"):
+            Quantiles("x", quantiles=(1.5,))
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError, match="windows"):
+            RangeQueries("x", windows=())
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            RangeQueries("x", windows=((3.0, 1.0),))
+
+    def test_marginals_needs_two_names(self):
+        with pytest.raises(ValueError, match="two attribute"):
+            Marginals(names=("only",))
+
+    def test_keys(self):
+        assert Mean("a").key == "mean:a"
+        assert Marginals(names=("a", "b")).key == "marginals:a+b"
+
+    def test_task_dict_roundtrip(self):
+        for task in (
+            Mean("a"),
+            Variance("a"),
+            Distribution("a"),
+            Quantiles("a", quantiles=(0.1, 0.9)),
+            RangeQueries("a", windows=((0.0, 0.5),)),
+            Marginals(names=("a", "b")),
+        ):
+            assert task_from_dict(task.to_dict()) == task
+
+    def test_unknown_task_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            task_from_dict({"task": "median-of-means", "attribute": "a"})
+
+
+class TestPlanValidation:
+    def test_valid_plan_builds(self):
+        plan = two_attr_plan()
+        assert plan.attribute("age").d == 64
+        assert {t.task for t in plan.tasks_for("income")} == {"mean", "quantiles"}
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError, match="unknown attribute"):
+            AnalysisPlan(
+                epsilon=1.0,
+                attributes=(AttributeSpec("a"),),
+                tasks=(Mean("a"), Mean("ghost")),
+            )
+
+    def test_unused_attribute_rejected(self):
+        with pytest.raises(ValueError, match="no task uses"):
+            AnalysisPlan(
+                epsilon=1.0,
+                attributes=(AttributeSpec("a"), AttributeSpec("b")),
+                tasks=(Mean("a"),),
+            )
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            AnalysisPlan(
+                epsilon=1.0,
+                attributes=(AttributeSpec("a"), AttributeSpec("a")),
+                tasks=(Mean("a"),),
+            )
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task"):
+            AnalysisPlan(
+                epsilon=1.0,
+                attributes=(AttributeSpec("a"),),
+                tasks=(Mean("a"), Mean("a")),
+            )
+
+    def test_window_outside_domain_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            AnalysisPlan(
+                epsilon=1.0,
+                attributes=(AttributeSpec("age", low=18.0, high=90.0),),
+                tasks=(RangeQueries("age", windows=((0.0, 30.0),)),),
+            )
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(ValueError, match="split"):
+            two_attr_plan(split="per-query")
+
+
+class TestPlanSerialization:
+    def test_dict_roundtrip(self):
+        plan = two_attr_plan(split="budget")
+        assert AnalysisPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_roundtrip(self):
+        plan = two_attr_plan()
+        assert AnalysisPlan.from_json(plan.to_json()) == plan
+
+    def test_load_json_file(self, tmp_path):
+        plan = two_attr_plan()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert load_plan(path) == plan
+
+    def test_non_object_root_rejected(self):
+        with pytest.raises(ValueError, match="JSON/TOML object"):
+            AnalysisPlan.from_json("[]")
+
+    def test_typoed_attribute_key_rejected(self):
+        with pytest.raises(ValueError, match="AttributeSpec"):
+            AnalysisPlan.from_dict({
+                "epsilon": 1.0,
+                "attributes": [{"name": "x", "lo": 0.0}],
+                "tasks": [{"task": "mean", "attribute": "x"}],
+            })
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            AnalysisPlan.from_dict({"attributes": [], "tasks": []})
+
+    def test_load_toml_file(self, tmp_path):
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            """
+epsilon = 2.0
+split = "budget"
+
+[[attributes]]
+name = "income"
+low = 0.0
+high = 100000.0
+d = 128
+
+[[tasks]]
+task = "mean"
+attribute = "income"
+"""
+        )
+        plan = load_plan(path)
+        assert plan.epsilon == 2.0
+        assert plan.split == "budget"
+        assert plan.tasks[0] == Mean("income")

@@ -1,0 +1,193 @@
+"""Planner tests: Section 8 selection rules + budget allocation + audit."""
+
+import pytest
+
+from repro.api import list_estimators
+from repro.mean import SCALAR_REGIME_THRESHOLD, recommended_scalar_mechanism
+from repro.privacy import audit_budget
+from repro.tasks import (
+    AnalysisPlan,
+    AttributeSpec,
+    Distribution,
+    Marginals,
+    Mean,
+    Quantiles,
+    RangeQueries,
+    Variance,
+    plan_analysis,
+)
+
+
+def single(task, spec=None, epsilon=1.0, **plan_kwargs):
+    spec = spec or AttributeSpec("x")
+    return AnalysisPlan(
+        epsilon=epsilon, attributes=(spec,), tasks=(task,), **plan_kwargs
+    )
+
+
+class TestSection8Selection:
+    """The planner implements the README's 'which mechanism' table."""
+
+    def test_distribution_task_gets_sw_ems(self):
+        planned = plan_analysis(single(Distribution("x")))
+        assert planned.choice_for("x").mechanism == "sw-ems"
+
+    @pytest.mark.parametrize(
+        "task",
+        [Quantiles("x"), Variance("x")],
+        ids=["quantiles", "variance"],
+    )
+    def test_distribution_derived_tasks_get_sw_ems(self, task):
+        assert plan_analysis(single(task)).choice_for("x").mechanism == "sw-ems"
+
+    def test_mean_mixed_with_quantiles_gets_sw_ems(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("x"),),
+            tasks=(Mean("x"), Quantiles("x")),
+        )
+        assert plan_analysis(plan).choice_for("x").mechanism == "sw-ems"
+
+    def test_mean_only_gets_scalar_regime_choice(self):
+        low = plan_analysis(single(Mean("x"), epsilon=0.5))
+        high = plan_analysis(single(Mean("x"), epsilon=2.0))
+        assert low.choice_for("x").mechanism == "sr"
+        assert high.choice_for("x").mechanism == "pm"
+        assert recommended_scalar_mechanism(SCALAR_REGIME_THRESHOLD) == "sr"
+
+    def test_range_only_gets_hh_admm(self):
+        task = RangeQueries("x", windows=((0.1, 0.3),))
+        assert plan_analysis(single(task)).choice_for("x").mechanism == "hh-admm"
+
+    def test_range_plus_mean_gets_sw_ems(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("x"),),
+            tasks=(Mean("x"), RangeQueries("x", windows=((0.1, 0.3),))),
+        )
+        assert plan_analysis(plan).choice_for("x").mechanism == "sw-ems"
+
+    def test_discrete_attribute_gets_discrete_sw(self):
+        spec = AttributeSpec("x", d=16, kind="discrete")
+        planned = plan_analysis(single(Distribution("x"), spec=spec))
+        assert planned.choice_for("x").mechanism == "sw-discrete-ems"
+
+    def test_marginals_force_distribution_mechanisms(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("a"), AttributeSpec("b")),
+            tasks=(Marginals(names=("a", "b")), Mean("a")),
+        )
+        planned = plan_analysis(plan)
+        assert planned.choice_for("a").mechanism == "sw-ems"
+        assert planned.choice_for("b").mechanism == "sw-ems"
+
+    def test_hh_granularity_snapped_to_tree_grid(self):
+        spec = AttributeSpec("x", d=100)
+        task = RangeQueries("x", windows=((0.1, 0.3),))
+        choice = plan_analysis(single(task, spec=spec)).choice_for("x")
+        assert choice.d == 256  # next power of the branching factor 4
+
+    def test_choices_pass_registry_capability_check(self):
+        """Every planned mechanism supports its tasks' registry metrics."""
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("a"), AttributeSpec("b"), AttributeSpec("c")),
+            tasks=(
+                Distribution("a"),
+                Mean("b"),
+                RangeQueries("c", windows=((0.0, 0.5),)),
+            ),
+        )
+        planned = plan_analysis(plan)
+        supported = {
+            "a": {s.name for s in list_estimators(metric="w1")},
+            "b": {s.name for s in list_estimators(metric="mean")},
+            "c": {s.name for s in list_estimators(metric="range-0.1")},
+        }
+        for attr, names in supported.items():
+            assert planned.choice_for(attr).mechanism in names
+
+
+class TestBudgetAllocation:
+    def test_population_split_full_budget_each(self):
+        plan = AnalysisPlan(
+            epsilon=1.5,
+            attributes=(AttributeSpec("a"), AttributeSpec("b")),
+            tasks=(Distribution("a"), Distribution("b")),
+        )
+        planned = plan_analysis(plan)
+        assert planned.allocation == {"a": 1.5, "b": 1.5}
+        assert planned.composition == "parallel"
+        assert planned.per_user_epsilon == 1.5
+
+    def test_budget_split_weight_proportional(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            split="budget",
+            attributes=(
+                AttributeSpec("a", weight=3.0),
+                AttributeSpec("b", weight=1.0),
+            ),
+            tasks=(Distribution("a"), Distribution("b")),
+        )
+        planned = plan_analysis(plan)
+        assert planned.allocation["a"] == pytest.approx(0.75)
+        assert planned.allocation["b"] == pytest.approx(0.25)
+        assert planned.composition == "sequential"
+        assert planned.per_user_epsilon == pytest.approx(1.0)
+
+    def test_audit_goes_through_privacy_module(self):
+        planned = plan_analysis(single(Distribution("x"), epsilon=2.0))
+        audit = planned.audit()
+        assert audit.satisfied
+        assert audit == audit_budget(
+            planned.allocation, 2.0, composition=planned.composition
+        )
+
+    def test_make_estimators_match_choices(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("a", d=32), AttributeSpec("b")),
+            tasks=(Distribution("a"), Mean("b")),
+        )
+        estimators = plan_analysis(plan).make_estimators()
+        assert estimators["a"].d == 32
+        assert estimators["a"].kind == "distribution"
+        assert estimators["b"].kind == "scalar"
+
+    def test_describe_mentions_every_attribute(self):
+        plan = AnalysisPlan(
+            epsilon=1.0,
+            attributes=(AttributeSpec("a"), AttributeSpec("b")),
+            tasks=(Distribution("a"), Mean("b")),
+        )
+        text = plan_analysis(plan).describe()
+        assert "a: sw-ems" in text
+        assert "per-user epsilon" in text
+
+
+class TestBudgetAudit:
+    def test_sequential_sums(self):
+        audit = audit_budget({"a": 0.5, "b": 0.5}, 1.0, composition="sequential")
+        assert audit.per_user_epsilon == 1.0
+        assert audit.satisfied
+        assert audit.slack == pytest.approx(0.0)
+
+    def test_sequential_overspend_flagged(self):
+        audit = audit_budget({"a": 0.8, "b": 0.8}, 1.0, composition="sequential")
+        assert not audit.satisfied
+        assert audit.slack < 0
+
+    def test_parallel_takes_max(self):
+        audit = audit_budget({"a": 1.0, "b": 1.0}, 1.0, composition="parallel")
+        assert audit.per_user_epsilon == 1.0
+        assert audit.satisfied
+
+    def test_bad_composition_rejected(self):
+        with pytest.raises(ValueError, match="composition"):
+            audit_budget({"a": 1.0}, 1.0, composition="adaptive")
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            audit_budget({}, 1.0)

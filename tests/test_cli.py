@@ -120,3 +120,89 @@ class TestAuditAndPlan:
         assert main(["plan", "--epsilon", "1.0", "--target-std", "0.002"]) == 0
         out = capsys.readouterr().out
         assert "users" in out
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        import json
+
+        plan = {
+            "epsilon": 1.0,
+            "attributes": [
+                {"name": "income", "low": 0.0, "high": 100000.0, "d": 64},
+                {"name": "age", "low": 18.0, "high": 90.0, "d": 64},
+            ],
+            "tasks": [
+                {"task": "mean", "attribute": "income"},
+                {"task": "quantiles", "attribute": "income", "quantiles": [0.5]},
+                {"task": "range_queries", "attribute": "age", "windows": [[18, 40]]},
+            ],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    @pytest.fixture()
+    def table_file(self, tmp_path, rng):
+        path = tmp_path / "survey.csv"
+        incomes = rng.gamma(4.0, 9000.0, 5000).clip(0, 100000)
+        ages = rng.normal(45.0, 14.0, 5000).clip(18, 90)
+        lines = ["income,age"] + [
+            f"{i:.2f},{a:.2f}" for i, a in zip(incomes, ages)
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_explain_prints_planner_choices(self, plan_file, capsys):
+        assert main(["analyze", "--plan", str(plan_file), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "income: sw-ems" in out
+        assert "age: hh-admm" in out
+        assert "per-user epsilon" in out
+
+    def test_analyze_end_to_end(self, plan_file, table_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "results.json"
+        code = main([
+            "analyze", "--plan", str(plan_file), "--input", str(table_file),
+            "--output", str(out_path), "--seed", "5", "--shards", "2",
+        ])
+        assert code == 0
+        assert "budget OK" in capsys.readouterr().out
+        results = json.loads(out_path.read_text())
+        assert {r["task"] for r in results["results"]} == {
+            "mean", "quantiles", "range_queries",
+        }
+        assert results["per_user_epsilon"] == 1.0
+
+    def test_missing_io_flags(self, plan_file, capsys):
+        assert main(["analyze", "--plan", str(plan_file)]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_bad_plan_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"epsilon": 1.0, "attributes": [], "tasks": []}')
+        assert main(["analyze", "--plan", str(bad), "--explain"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_typoed_plan_key_fails_cleanly(self, tmp_path, capsys):
+        """Misnamed keys exit 2 with a message, not a TypeError traceback."""
+        import json
+
+        bad = tmp_path / "plan.json"
+        bad.write_text(json.dumps({
+            "epsilon": 1.0,
+            "attributes": [{"name": "x", "lo": 0.0}],
+            "tasks": [{"task": "mean", "attribute": "x"}],
+        }))
+        assert main(["analyze", "--plan", str(bad), "--explain"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "AttributeSpec" in err
+
+    def test_missing_plan_key_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"attributes": [], "tasks": []}')
+        assert main(["analyze", "--plan", str(bad), "--explain"]) == 2
+        assert "missing required key" in capsys.readouterr().err

@@ -7,6 +7,7 @@ from repro.core.pipeline import SWEstimator
 from repro.io import (
     load_estimator_config,
     read_histogram_csv,
+    read_table,
     read_values,
     save_estimator_config,
     write_histogram_csv,
@@ -53,6 +54,58 @@ class TestHistogramIO:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             write_histogram_csv(np.array([]), tmp_path / "h.csv")
+
+
+class TestTableIO:
+    def test_reads_columns_by_header(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("income,age\n100.5,30\n200.25,45\n")
+        table = read_table(path)
+        assert set(table) == {"income", "age"}
+        np.testing.assert_allclose(table["income"], [100.5, 200.25])
+        np.testing.assert_allclose(table["age"], [30.0, 45.0])
+
+    def test_blank_rows_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1.0\n\n2.0\n")
+        np.testing.assert_allclose(read_table(path)["x"], [1.0, 2.0])
+
+    def test_utf8_bom_tolerated(self, tmp_path):
+        """Excel's default UTF-8 export prefixes a BOM; the first column
+        name must not absorb it."""
+        path = tmp_path / "t.csv"
+        path.write_bytes(b"\xef\xbb\xbfincome,age\n1.0,2.0\n")
+        assert set(read_table(path)) == {"income", "age"}
+
+    def test_ragged_row_reported_with_location(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1.0\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_table(path)
+
+    def test_non_numeric_cell_reported(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nhello\n")
+        with pytest.raises(ValueError, match="not a number"):
+            read_table(path)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,a\n1,2\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_table(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_table(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_table(path)
 
 
 class TestEstimatorConfig:
