@@ -70,7 +70,7 @@ from repro.metrics import (
 from repro.multidim import MultiAttributeSW
 from repro.postprocess import norm_sub
 from repro.privacy import audit_budget
-from repro.protocol import SWClient, SWServer
+from repro.protocol import CollectionServer, PlanServer, SWClient, SWServer
 from repro.tasks import (
     AnalysisPlan,
     AnalysisReport,
@@ -139,6 +139,8 @@ __all__ = [
     "MultiAttributeSW",
     "SWClient",
     "SWServer",
+    "CollectionServer",
+    "PlanServer",
     "olh_variance",
     "required_population",
     "sw_exact_mutual_information",

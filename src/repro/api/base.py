@@ -133,6 +133,12 @@ class Estimator(abc.ABC):
     #: Whether ``merge(other)`` combines two shards exactly.
     mergeable: bool = True
 
+    #: Name of the payload codec (:mod:`repro.protocol.codecs`) this
+    #: estimator's reports travel under on the wire, or ``None`` if the
+    #: reports have no wire form (shard state travels via ``to_state()``).
+    #: May be a property where the payload type depends on construction.
+    wire_codec: str | None = None
+
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------

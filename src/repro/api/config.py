@@ -106,16 +106,22 @@ class EMConfig:
         epsilon: float,
         *,
         validated: bool = False,
+        x0: np.ndarray | None = None,
     ):
         """Run EM/EMS on a report histogram with this configuration.
 
         ``validated=True`` skips the column-stochastic matrix check — pass
         it when the matrix comes from the engine cache, which validates
-        once at insert. Returns the :class:`~repro.core.em.EMResult`.
+        once at insert. ``x0`` warm-starts the solve from a previous
+        posterior instead of the uniform prior — the fixed point is the
+        same (EM is monotone in the likelihood), but a nearby start
+        converges in far fewer iterations, which is what makes mid-round
+        incremental estimates cheap (:mod:`repro.protocol.server`).
+        Returns the :class:`~repro.core.em.EMResult`.
         """
         return self.run_many(
             matrix, np.asarray(counts, dtype=np.float64)[:, None],
-            epsilon, validated=validated,
+            epsilon, validated=validated, x0=x0,
         ).column(0)
 
     def run_many(
@@ -125,12 +131,15 @@ class EMConfig:
         epsilon: float,
         *,
         validated: bool = False,
+        x0: np.ndarray | None = None,
     ):
         """Batched EM/EMS over ``(d_out, B)`` stacked report histograms.
 
         All ``B`` problems share ``matrix`` and this configuration; the
         engine solves them as single BLAS matmuls with a per-column
-        convergence mask. Returns the
+        convergence mask. ``x0`` (a ``(d,)`` start shared by every column,
+        or ``(d, B)`` per-column starts) warm-starts the solver; ``None``
+        keeps the uniform prior. Returns the
         :class:`~repro.engine.solver.BatchEMResult`.
         """
         from repro.engine.solver import batched_expectation_maximization
@@ -141,6 +150,7 @@ class EMConfig:
             tol=self.resolve_tolerance(epsilon),
             max_iter=self.max_iter,
             smoothing_kernel=self.kernel(),
+            x0=x0,
             validate_matrix=not validated,
         )
 

@@ -74,6 +74,10 @@ class EstimatorSpec:
         Benchmark metrics this estimator is evaluated on (paper Table 2).
     streaming / mergeable:
         Capability flags of the produced estimators.
+    codec:
+        Default wire payload codec (:mod:`repro.protocol.codecs`) the
+        family's reports travel under, or ``None`` when it depends on
+        construction (resolve from the instance's ``wire_codec``).
     tags:
         Free-form labels; ``"table2"`` marks the paper's benchmark set.
     """
@@ -85,6 +89,7 @@ class EstimatorSpec:
     description: str = ""
     streaming: bool = True
     mergeable: bool = True
+    codec: str | None = None
     tags: frozenset = frozenset()
 
     def supports(self, metric: str) -> bool:
@@ -103,6 +108,7 @@ def register_estimator(
     description: str = "",
     streaming: bool = True,
     mergeable: bool = True,
+    codec: str | None = None,
     tags: tuple[str, ...] = (),
     overwrite: bool = False,
 ) -> EstimatorSpec:
@@ -123,6 +129,7 @@ def register_estimator(
         description=description,
         streaming=streaming,
         mergeable=mergeable,
+        codec=codec,
         tags=frozenset(tags),
     )
     _REGISTRY[name] = spec
@@ -264,6 +271,7 @@ register_estimator(
     "sw-ems",
     _sw("ems"),
     kind="distribution",
+    codec="float",
     supported_metrics=DISTRIBUTION_METRICS,
     description="Square Wave + EM with smoothing (this paper)",
     tags=("table2",),
@@ -272,6 +280,7 @@ register_estimator(
     "sw-em",
     _sw("em"),
     kind="distribution",
+    codec="float",
     supported_metrics=DISTRIBUTION_METRICS,
     description="Square Wave + plain EM (this paper)",
     tags=("table2",),
@@ -280,6 +289,7 @@ register_estimator(
     "sw-discrete-ems",
     _sw_discrete("ems"),
     kind="distribution",
+    codec="category",
     supported_metrics=DISTRIBUTION_METRICS,
     description="Discrete SW (bucketize-before-randomize, Section 5.4) + EMS",
 )
@@ -287,6 +297,7 @@ register_estimator(
     "sw-discrete-em",
     _sw_discrete("em"),
     kind="distribution",
+    codec="category",
     supported_metrics=DISTRIBUTION_METRICS,
     description="Discrete SW (bucketize-before-randomize, Section 5.4) + plain EM",
 )
@@ -294,6 +305,7 @@ register_estimator(
     "hh-admm",
     _hh_admm,
     kind="distribution",
+    codec="tree",
     supported_metrics=DISTRIBUTION_METRICS,
     description="Hierarchical histogram + ADMM post-processing (this paper)",
     tags=("table2",),
@@ -318,6 +330,7 @@ register_estimator(
     "hh",
     _hh,
     kind="leaf-signed",
+    codec="tree",
     supported_metrics=RANGE_METRICS,
     description="Hierarchical histogram, constrained inference only [18]",
     tags=("table2",),
@@ -326,6 +339,7 @@ register_estimator(
     "haar-hrr",
     _haar_hrr,
     kind="leaf-signed",
+    codec="tree",
     supported_metrics=RANGE_METRICS,
     description="Discrete Haar transform + Hadamard randomized response [18]",
     tags=("table2",),
@@ -334,6 +348,7 @@ register_estimator(
     "sr",
     _scalar("sr"),
     kind="scalar",
+    codec="float",
     supported_metrics=SCALAR_METRICS,
     description="Stochastic Rounding mean/variance estimator [9]",
     tags=("table2",),
@@ -342,6 +357,7 @@ register_estimator(
     "pm",
     _scalar("pm"),
     kind="scalar",
+    codec="float",
     supported_metrics=SCALAR_METRICS,
     description="Piecewise Mechanism mean/variance estimator [30]",
     tags=("table2",),
@@ -350,23 +366,27 @@ register_estimator(
     "sw-multi",
     _sw_multi,
     kind="marginals",
+    codec="multi",
     description="Population-split SW marginals over k attributes (n_attributes=)",
 )
 register_estimator(
     "grr",
     _oracle("grr"),
     kind="frequency",
+    codec="category",
     description="Generalized Randomized Response frequency oracle",
 )
 register_estimator(
     "olh",
     _oracle("olh"),
     kind="frequency",
+    codec="olh",
     description="Optimized Local Hashing frequency oracle",
 )
 register_estimator(
     "hrr",
     _oracle("hrr"),
     kind="frequency",
+    codec="hrr",
     description="Hadamard Randomized Response frequency oracle",
 )

@@ -123,6 +123,11 @@ class CFOBinning(Estimator):
         return f"cfo-binning-{self.bins}"
 
     @property
+    def wire_codec(self) -> str:
+        """Reports travel as GRR category ints or OLH triples, per oracle."""
+        return "category" if isinstance(self.oracle, GRR) else "olh"
+
+    @property
     def n_reports(self) -> int:
         """Reports ingested into the current aggregation state."""
         return self._n
@@ -177,14 +182,19 @@ class CFOBinning(Estimator):
             self._chunk_acc += n * self.oracle.aggregate_batch(reports)
         self._n += n
 
-    def estimate(self) -> np.ndarray:
-        """Reconstruct the ``d``-bucket histogram from all ingested reports."""
+    def estimate(self, *, x0: np.ndarray | None = None) -> np.ndarray:
+        """Reconstruct the ``d``-bucket histogram from all ingested reports.
+
+        In EM mode, ``x0`` warm-starts the solve from a previous posterior
+        (see :meth:`repro.core.pipeline.WaveEstimator.estimate`); Norm-Sub
+        mode has no iterative solve and ignores it.
+        """
         if self._n == 0:
             raise EmptyAggregateError("no reports ingested yet")
         if self.em is not None:
             self.result_ = self.em.run(
                 self.transition_matrix, self._chunk_acc, self.epsilon,
-                validated=True,
+                validated=True, x0=x0,
             )
             return self.result_.estimate
         chunk_distribution = norm_sub(self._chunk_acc / self._n, total=1.0)

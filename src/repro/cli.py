@@ -10,7 +10,11 @@ Subcommands mirror the deployment workflow:
 * ``audit`` — numerically verify a mechanism's LDP guarantee;
 * ``plan`` — back-of-envelope population sizing for a target accuracy;
 * ``analyze`` — run a declarative analysis plan (``repro.tasks``) over a
-  CSV of raw per-user values and write typed task results as JSON.
+  CSV of raw per-user values and write typed task results as JSON;
+* ``pack`` / ``unpack`` / ``collect`` — the protocol-v2 serving workflow:
+  randomize values into a wire feed for *any* registered mechanism
+  (``--format jsonl|frame``), convert/inspect feeds, and run the
+  mechanism-agnostic collection server over one or more shard feeds.
 
 Examples::
 
@@ -24,6 +28,11 @@ Examples::
     python -m repro plan --epsilon 1.0 --target-std 0.002
     python -m repro analyze --plan plan.json --input survey.csv \
         --output results.json --seed 7
+    python -m repro pack --method olh --epsilon 1.0 --d 64 --round-id r1 \
+        --format frame --input values.txt --output feed.rpf --seed 7
+    python -m repro unpack --input feed.rpf --format jsonl --output feed.jsonl
+    python -m repro collect --method olh --epsilon 1.0 --d 64 --round-id r1 \
+        --input feed.rpf --output frequencies.csv
 """
 
 from __future__ import annotations
@@ -54,19 +63,18 @@ def _cmd_privatize(args) -> int:
 
 
 def _cmd_aggregate(args) -> int:
-    from repro.protocol.server import SWServer
+    from repro.protocol.server import CollectionServer
 
-    server = SWServer(
-        args.round_id, epsilon=args.epsilon, d=args.d, b=args.b,
-        postprocess=args.postprocess,
+    server = CollectionServer(
+        args.round_id, f"sw-{args.postprocess}", args.epsilon, args.d, b=args.b,
     )
     with open(args.input) as handle:
-        count = server.ingest_batch(handle.read())
+        count = server.ingest_lines(handle.read())
     histogram = server.estimate()
     io.write_histogram_csv(histogram, args.output)
     print(
         f"aggregated {count} reports; EMS/EM ran "
-        f"{server.result_.iterations} iterations; wrote {args.output}"
+        f"{server.estimator.result_.iterations} iterations; wrote {args.output}"
     )
     return 0
 
@@ -200,6 +208,123 @@ def _cmd_analyze(args) -> int:
     return 0 if audit.satisfied else 1
 
 
+def _read_feed(path: str) -> bytes | str:
+    """Read a wire feed, auto-detecting binary frames vs JSON lines."""
+    from repro.protocol.frames import is_frame
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if is_frame(data):
+        return data
+    return data.decode("utf-8")
+
+
+def _write_feed(feed: bytes | str, path: str) -> None:
+    if isinstance(feed, bytes):
+        with open(path, "wb") as handle:
+            handle.write(feed)
+    else:
+        with open(path, "w") as handle:
+            handle.write(feed + "\n")
+
+
+def _reportable_values(spec, values, d: int):
+    """Map unit-domain inputs onto what the mechanism's clients report."""
+    if spec.kind == "marginals":
+        raise ValueError(
+            f"{spec.name} needs an (n, k) value matrix; "
+            "use the repro.MultiAttributeSW API directly"
+        )
+    if spec.kind == "frequency":
+        from repro.utils.histograms import bucketize
+
+        return bucketize(values, d)
+    return values
+
+
+def _cmd_pack(args) -> int:
+    from repro.api.registry import get_spec, make_estimator
+    from repro.protocol.codecs import codec_for_estimator
+    from repro.protocol.frames import encode_frame
+    from repro.protocol.messages import encode_batch_v2
+
+    spec = get_spec(args.method)
+    values = _reportable_values(spec, io.read_values(args.input), args.d)
+    estimator = make_estimator(args.method, args.epsilon, args.d)
+    codec = codec_for_estimator(estimator)
+    reports = estimator.privatize(values, rng=np.random.default_rng(args.seed))
+    if args.format == "frame":
+        feed: bytes | str = encode_frame(
+            args.round_id, reports, codec, attr=args.attr
+        )
+    else:
+        feed = encode_batch_v2(args.round_id, reports, codec, attr=args.attr)
+    _write_feed(feed, args.output)
+    print(
+        f"packed {values.size} {args.method} reports ({codec.name} payloads, "
+        f"{args.format}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_unpack(args) -> int:
+    from repro.protocol.frames import decode_any_feed, encode_frame_blocks
+    from repro.protocol.messages import encode_batch_v2
+
+    round_id, groups = decode_any_feed(_read_feed(args.input))
+    for group in groups.values():
+        print(
+            f"round {round_id!r} attr {group.attr!r}: {group.n} reports "
+            f"({group.mechanism} payloads)"
+        )
+    if args.output is None:
+        return 0
+    blocks = [(g.attr, g.mechanism, g.reports) for g in groups.values()]
+    if args.format == "frame":
+        out: bytes | str = encode_frame_blocks(round_id, blocks)
+    else:
+        out = "\n".join(
+            encode_batch_v2(round_id, reports, mech, attr=attr)
+            for attr, mech, reports in blocks
+        )
+    _write_feed(out, args.output)
+    print(f"rewrote feed as {args.format} to {args.output}")
+    return 0
+
+
+def _cmd_collect(args) -> int:
+    from repro.api.registry import get_spec
+    from repro.protocol.server import CollectionServer
+
+    spec = get_spec(args.method)
+    if spec.kind == "marginals":
+        print(
+            f"error: {args.method} estimates per-attribute marginals; "
+            "serve it through a PlanServer instead",
+            file=sys.stderr,
+        )
+        return 2
+    server = CollectionServer(
+        args.round_id, args.method, args.epsilon, args.d, attr=args.attr
+    )
+    total = 0
+    for path in args.input:
+        total += server.ingest_feed(_read_feed(path))
+    estimate = server.estimate()
+    if spec.kind == "scalar":
+        with open(args.output, "w") as handle:
+            handle.write(f"statistic,value\nmean,{estimate:.10g}\n")
+        what = f"mean {estimate:.6f}"
+    else:
+        io.write_histogram_csv(np.asarray(estimate), args.output)
+        what = f"{np.asarray(estimate).size}-bucket estimate"
+    print(
+        f"collected {total} reports across {len(args.input)} feed(s); "
+        f"{what} with {args.method}; wrote {args.output}"
+    )
+    return 0
+
+
 def _cmd_plan(args) -> int:
     n = required_population(args.epsilon, args.target_std, d=args.d)
     print(
@@ -280,6 +405,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the planner's mechanism/budget choices and exit",
     )
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
+        "pack", help="randomize values into a protocol-v2 wire feed"
+    )
+    p.add_argument("--method", default="sw-ems", help="any registered estimator")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--d", type=int, default=1024)
+    p.add_argument("--round-id", required=True)
+    p.add_argument("--attr", default="value", help="attribute id to stamp reports with")
+    p.add_argument(
+        "--format", choices=("jsonl", "frame"), default="frame",
+        help="wire transport: columnar binary frame or envelope JSON lines",
+    )
+    p.add_argument("--input", required=True, help="one value in [0,1] per line")
+    p.add_argument("--output", required=True, help="feed file")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(fn=_cmd_pack)
+
+    p = sub.add_parser(
+        "unpack", help="inspect a wire feed and optionally convert its format"
+    )
+    p.add_argument("--input", required=True, help="feed file (frame or JSON lines)")
+    p.add_argument("--output", default=None, help="converted feed (omit to inspect only)")
+    p.add_argument(
+        "--format", choices=("jsonl", "frame"), default="jsonl",
+        help="output transport when --output is given",
+    )
+    p.set_defaults(fn=_cmd_unpack)
+
+    p = sub.add_parser(
+        "collect", help="aggregate wire feeds with the mechanism-agnostic server"
+    )
+    p.add_argument("--method", default="sw-ems", help="any registered estimator")
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--d", type=int, default=1024)
+    p.add_argument("--round-id", required=True)
+    p.add_argument("--attr", default="value")
+    p.add_argument(
+        "--input", required=True, nargs="+",
+        help="one or more shard feed files (frame or JSON lines, auto-detected)",
+    )
+    p.add_argument("--output", required=True, help="estimate CSV")
+    p.set_defaults(fn=_cmd_collect)
 
     p = sub.add_parser("plan", help="population sizing for a target accuracy")
     p.add_argument("--epsilon", type=float, required=True)

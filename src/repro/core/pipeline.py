@@ -64,6 +64,7 @@ class WaveEstimator(Estimator):
     """
 
     kind = "distribution"
+    wire_codec = "float"
 
     def __init__(
         self,
@@ -167,12 +168,20 @@ class WaveEstimator(Estimator):
             raise ValueError("counts must be non-negative")
         self._counts += arr
 
-    def estimate(self) -> np.ndarray:
-        """Reconstruct the input histogram from all reports ingested so far."""
+    def estimate(self, *, x0: np.ndarray | None = None) -> np.ndarray:
+        """Reconstruct the input histogram from all reports ingested so far.
+
+        ``x0`` warm-starts EM/EMS from a previous posterior instead of the
+        uniform prior — same fixed point, far fewer iterations when the
+        counts changed only a little since that posterior was computed
+        (the incremental-serving path of
+        :class:`repro.protocol.server.CollectionServer`).
+        """
         if self._counts.sum() <= 0:
             raise EmptyAggregateError("no reports ingested yet")
         self.result_ = self.config.run(
-            self.transition_matrix, self._counts, self.epsilon, validated=True
+            self.transition_matrix, self._counts, self.epsilon,
+            validated=True, x0=x0,
         )
         return self.result_.estimate
 
@@ -296,6 +305,8 @@ class DiscreteSWEstimator(WaveEstimator):
     happens on the discrete domain, so reports are integers over the
     ``d + 2b`` extended output positions.
     """
+
+    wire_codec = "category"
 
     def __init__(
         self,

@@ -22,6 +22,7 @@ class GRR(FrequencyOracle):
     """Generalized Randomized Response frequency oracle."""
 
     name = "grr"
+    wire_codec = "category"
 
     def __init__(self, epsilon: float, d: int) -> None:
         super().__init__(epsilon, d)

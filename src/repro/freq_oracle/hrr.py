@@ -79,6 +79,7 @@ class HRR(FrequencyOracle):
 
     name = "hrr"
     min_domain = 1
+    wire_codec = "hrr"
 
     def __init__(self, epsilon: float, d: int) -> None:
         super().__init__(epsilon, d)

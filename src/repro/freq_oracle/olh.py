@@ -54,6 +54,7 @@ class OLH(FrequencyOracle):
     """
 
     name = "olh"
+    wire_codec = "olh"
 
     def __init__(self, epsilon: float, d: int, g: int | None = None) -> None:
         super().__init__(epsilon, d)

@@ -52,6 +52,7 @@ class HaarHRR(Estimator):
 
     name = "haar-hrr"
     kind = "leaf-signed"
+    wire_codec = "tree"
 
     def __init__(self, epsilon: float, d: int = 1024) -> None:
         self.epsilon = check_epsilon(epsilon)
@@ -134,6 +135,11 @@ class HaarHRR(Estimator):
         self._height_n = np.zeros(self.height, dtype=np.int64)
         self.details_ = None
         self.leaf_estimates_ = None
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested into the current aggregation state."""
+        return int(self._height_n.sum())
 
     # -- queries -----------------------------------------------------------
     def range_query(self, low: float, high: float) -> float:

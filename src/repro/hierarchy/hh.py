@@ -181,6 +181,7 @@ class HierarchicalHistogram(Estimator):
 
     name = "hh"
     kind = "leaf-signed"
+    wire_codec = "tree"
 
     def __init__(
         self,

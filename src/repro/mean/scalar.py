@@ -42,6 +42,7 @@ class ScalarMeanEstimator(Estimator):
     """
 
     kind = "scalar"
+    wire_codec = "float"
 
     def __init__(
         self, epsilon: float, mechanism: str = "pm", d: int | None = None

@@ -80,6 +80,7 @@ class MultiAttributeSW(Estimator):
 
     name = "sw-multi"
     kind = "marginals"
+    wire_codec = "multi"
 
     def __init__(self, epsilon: float, n_attributes: int, d: int = 256, **kwargs) -> None:
         self.epsilon = check_epsilon(epsilon)

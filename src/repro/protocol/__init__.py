@@ -1,23 +1,70 @@
-"""Deployment-shaped client/server layer for SW collection rounds."""
+"""Deployment-shaped client/server layer for LDP collection rounds.
+
+Protocol v1 is the original Square-Wave JSON-lines format; protocol v2
+generalizes the wire to every registered mechanism via payload codecs
+(:mod:`repro.protocol.codecs`), adds a columnar binary frame transport
+(:mod:`repro.protocol.frames`), and serves any registry estimator through
+:class:`CollectionServer` / :class:`PlanServer`.
+"""
 
 from repro.protocol.client import SWClient
+from repro.protocol.codecs import (
+    PayloadCodec,
+    codec_for_estimator,
+    get_codec,
+    list_codecs,
+    register_codec,
+)
+from repro.protocol.frames import (
+    FRAME_MAGIC,
+    decode_frame,
+    decode_frame_grouped,
+    encode_frame,
+    encode_frame_blocks,
+    is_frame,
+)
 from repro.protocol.messages import (
     DEFAULT_ATTR,
+    PROTOCOL_V2,
     PROTOCOL_VERSION,
+    FeedGroup,
+    ReportEnvelope,
     SWReport,
     decode_batch,
     decode_batch_grouped,
+    decode_feed,
+    decode_feed_grouped,
     encode_batch,
+    encode_batch_v2,
 )
-from repro.protocol.server import SWServer
+from repro.protocol.server import CollectionServer, PlanServer, SWServer
 
 __all__ = [
     "SWClient",
+    "CollectionServer",
+    "PlanServer",
     "SWServer",
     "SWReport",
+    "ReportEnvelope",
+    "FeedGroup",
     "PROTOCOL_VERSION",
+    "PROTOCOL_V2",
     "DEFAULT_ATTR",
+    "FRAME_MAGIC",
+    "PayloadCodec",
+    "register_codec",
+    "get_codec",
+    "list_codecs",
+    "codec_for_estimator",
     "encode_batch",
     "decode_batch",
     "decode_batch_grouped",
+    "encode_batch_v2",
+    "decode_feed",
+    "decode_feed_grouped",
+    "encode_frame",
+    "encode_frame_blocks",
+    "decode_frame",
+    "decode_frame_grouped",
+    "is_frame",
 ]

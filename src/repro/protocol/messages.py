@@ -1,44 +1,70 @@
-"""Wire format for SW collection rounds.
+"""Wire formats for collection rounds: v1 SW JSON lines + generic v2 envelopes.
 
-A deployment sends one small message per user. ``SWReport`` is that message:
-the protocol version, the collection round it belongs to, the attribute the
-report is for (multi-attribute sessions share one feed), and the randomized
-float. JSON-lines encoding keeps the format greppable and language-neutral;
-``encode_batch``/``decode_batch`` handle whole files and
-``decode_batch_grouped`` splits a mixed feed per attribute.
+A deployment sends one small message per user. Protocol **v1** is the
+original Square-Wave-only format — ``SWReport`` carries the protocol
+version, the collection round, the attribute (multi-attribute sessions
+share one feed), and the randomized float. Protocol **v2** generalizes the
+same JSON-lines shape to *every* mechanism family: a :class:`ReportEnvelope`
+carries the round, attribute, the payload codec name, and a codec-specific
+payload (see :mod:`repro.protocol.codecs`), so OLH hash triples and
+hierarchical level reports travel the same feed as SW floats.
+
+:func:`decode_feed_grouped` is the server-side entry point: it accepts a
+mixed v1/v2 feed (v1 lines decode as ``float`` payloads, byte-for-byte
+compatibly) and partitions it into per-attribute report batches. For bulk
+transport, prefer the columnar binary frames in
+:mod:`repro.protocol.frames`; JSON lines stay the greppable,
+language-neutral interchange form.
 
 Nothing privacy-relevant lives here — by the time a value reaches a report
-it is already randomized — but decoding *validates* that reports fall inside
-the advertised output domain, so a corrupted or mismatched feed fails loudly
-instead of silently biasing the estimate.
+it is already randomized — but decoding *validates* that reports are
+well-formed (and, for v1 floats, finite), so a corrupted or mismatched feed
+fails loudly instead of silently biasing the estimate. Malformed lines are
+reported with their 1-based line number.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.protocol.codecs import PayloadCodec, get_codec
+
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_V2",
     "DEFAULT_ATTR",
     "SWReport",
+    "ReportEnvelope",
+    "FeedGroup",
     "encode_batch",
     "decode_batch",
     "decode_batch_grouped",
+    "encode_batch_v2",
+    "decode_feed",
+    "decode_feed_grouped",
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Generic-envelope protocol version (mechanism-agnostic payloads).
+PROTOCOL_V2 = 2
 
 #: Attribute id single-attribute rounds implicitly report under. Lines
 #: written before the field existed decode to this, so old feeds stay valid.
 DEFAULT_ATTR = "value"
 
 
+def _at_line(lineno: int | None) -> str:
+    return f"line {lineno}: " if lineno is not None else ""
+
+
 @dataclass(frozen=True)
 class SWReport:
-    """One user's randomized report for one collection round.
+    """One user's randomized report for one collection round (protocol v1).
 
     ``attr`` identifies which attribute of a multi-attribute session the
     report belongs to; single-attribute rounds leave it at
@@ -58,8 +84,19 @@ class SWReport:
         return json.dumps(data, separators=(",", ":"))
 
     @classmethod
-    def from_json(cls, line: str) -> "SWReport":
-        data = json.loads(line)
+    def from_json(cls, line: str, *, lineno: int | None = None) -> "SWReport":
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(
+                f"{_at_line(lineno)}malformed SW report line: {line!r}"
+            ) from exc
+        return cls._from_data(data, line, lineno=lineno)
+
+    @classmethod
+    def _from_data(
+        cls, data: Any, line: str, *, lineno: int | None = None
+    ) -> "SWReport":
         try:
             report = cls(
                 round_id=str(data["round_id"]),
@@ -68,34 +105,150 @@ class SWReport:
                 attr=str(data.get("attr", DEFAULT_ATTR)),
             )
         except (KeyError, TypeError, ValueError) as exc:
-            raise ValueError(f"malformed SW report line: {line!r}") from exc
+            raise ValueError(
+                f"{_at_line(lineno)}malformed SW report line: {line!r}"
+            ) from exc
         if report.version != PROTOCOL_VERSION:
             raise ValueError(
-                f"unsupported protocol version {report.version} "
-                f"(this library speaks {PROTOCOL_VERSION})"
+                f"{_at_line(lineno)}unsupported protocol version {report.version} "
+                f"(this decoder speaks {PROTOCOL_VERSION})"
             )
         if not np.isfinite(report.value):
-            raise ValueError("report value must be finite")
+            raise ValueError(f"{_at_line(lineno)}report value must be finite")
         return report
 
 
+@dataclass(frozen=True)
+class ReportEnvelope:
+    """One user's randomized report for any mechanism (protocol v2).
+
+    ``mechanism`` names the payload codec (:mod:`repro.protocol.codecs`);
+    ``payload`` is that codec's per-report form — a scalar for
+    single-column codecs (SW float, GRR category), a small list otherwise
+    (OLH ``[a, b, y]``, HRR ``[row, bit]``, tree rows). As in v1, the wire
+    line omits ``attr`` when it is the default.
+    """
+
+    round_id: str
+    mechanism: str
+    payload: Any
+    version: int = PROTOCOL_V2
+    attr: str = DEFAULT_ATTR
+
+    def to_json(self) -> str:
+        data = {
+            "round_id": self.round_id,
+            "mech": self.mechanism,
+            "payload": self.payload,
+            "version": self.version,
+        }
+        if self.attr != DEFAULT_ATTR:
+            data["attr"] = self.attr
+        return json.dumps(data, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str, *, lineno: int | None = None) -> "ReportEnvelope":
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(
+                f"{_at_line(lineno)}malformed report envelope: {line!r}"
+            ) from exc
+        return cls._from_data(data, line, lineno=lineno)
+
+    @classmethod
+    def _from_data(
+        cls, data: Any, line: str, *, lineno: int | None = None
+    ) -> "ReportEnvelope":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{_at_line(lineno)}malformed report envelope: {line!r}"
+            )
+        try:
+            # Coerce like the v1 decoder does, so e.g. "version": "1" keeps
+            # decoding through every v2-routed path too.
+            version = int(data.get("version", PROTOCOL_VERSION))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{_at_line(lineno)}malformed report envelope: {line!r}"
+            ) from exc
+        if version == PROTOCOL_VERSION:
+            # A v1 line is exactly a float-codec envelope; route through the
+            # v1 validator (on the already-parsed data — no second
+            # json.loads on the per-report hot path) so old feeds keep
+            # their old failure modes.
+            report = SWReport._from_data(data, line, lineno=lineno)
+            return cls(
+                round_id=report.round_id,
+                mechanism="float",
+                payload=report.value,
+                version=PROTOCOL_VERSION,
+                attr=report.attr,
+            )
+        if version != PROTOCOL_V2:
+            raise ValueError(
+                f"{_at_line(lineno)}unsupported protocol version {version} "
+                f"(this decoder speaks {PROTOCOL_VERSION} and {PROTOCOL_V2})"
+            )
+        try:
+            return cls(
+                round_id=str(data["round_id"]),
+                mechanism=str(data["mech"]),
+                payload=data["payload"],
+                version=PROTOCOL_V2,
+                attr=str(data.get("attr", DEFAULT_ATTR)),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"{_at_line(lineno)}malformed report envelope: {line!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class FeedGroup:
+    """One attribute's worth of a decoded feed: codec name + report batch."""
+
+    attr: str
+    mechanism: str
+    reports: Any
+    n: int
+
+
+# ----------------------------------------------------------------------
+# protocol v1 (SW floats)
+# ----------------------------------------------------------------------
+
+
 def encode_batch(round_id: str, values: np.ndarray, attr: str = DEFAULT_ATTR) -> str:
-    """Encode randomized values as JSON lines (one report per line)."""
+    """Encode randomized values as v1 JSON lines (one report per line).
+
+    Lines are built from one pre-formatted array pass — ``json.dumps``
+    serializes finite doubles via ``float.__repr__``, so gluing
+    ``repr(value)`` between a constant prefix and suffix is byte-identical
+    to per-report ``SWReport(...).to_json()`` at a fraction of the cost.
+    Non-finite values fall back to the dataclass path so their (legacy)
+    ``Infinity``/``NaN`` spellings are preserved.
+    """
     arr = np.asarray(values, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError("values must be 1-dimensional")
-    return "\n".join(SWReport(round_id, float(v), attr=attr).to_json() for v in arr)
+    if not np.isfinite(arr).all():  # pragma: no cover - legacy spelling path
+        return "\n".join(SWReport(round_id, float(v), attr=attr).to_json() for v in arr)
+    prefix = f'{{"round_id":{json.dumps(round_id)},"value":'
+    attr_part = "" if attr == DEFAULT_ATTR else f',"attr":{json.dumps(attr)}'
+    suffix = f',"version":{PROTOCOL_VERSION}{attr_part}}}'
+    return "\n".join(f"{prefix}{v!r}{suffix}" for v in arr.tolist())
 
 
 def _iter_reports(payload: str, expected_round: str | None):
-    for line in payload.splitlines():
+    for lineno, line in enumerate(payload.splitlines(), start=1):
         if not line.strip():
             continue
-        report = SWReport.from_json(line)
+        report = SWReport.from_json(line, lineno=lineno)
         if expected_round is not None and report.round_id != expected_round:
             raise ValueError(
-                f"report for round {report.round_id!r} mixed into "
-                f"round {expected_round!r}"
+                f"{_at_line(lineno)}report for round {report.round_id!r} mixed "
+                f"into round {expected_round!r}"
             )
         yield report
 
@@ -105,7 +258,7 @@ def decode_batch(
     expected_round: str | None = None,
     expected_attr: str | None = None,
 ) -> np.ndarray:
-    """Decode JSON lines into a report array, checking feed consistency.
+    """Decode v1 JSON lines into a report array, checking feed consistency.
 
     ``expected_attr`` (when given) rejects reports for any other attribute —
     the guard a single-attribute server uses against a mixed
@@ -128,7 +281,7 @@ def decode_batch(
 def decode_batch_grouped(
     payload: str, expected_round: str | None = None
 ) -> dict[str, np.ndarray]:
-    """Decode a mixed multi-attribute feed into per-attribute report arrays."""
+    """Decode a mixed multi-attribute v1 feed into per-attribute arrays."""
     groups: dict[str, list[float]] = {}
     for report in _iter_reports(payload, expected_round):
         groups.setdefault(report.attr, []).append(report.value)
@@ -138,3 +291,110 @@ def decode_batch_grouped(
         attr: np.asarray(values, dtype=np.float64)
         for attr, values in groups.items()
     }
+
+
+# ----------------------------------------------------------------------
+# protocol v2 (generic envelopes)
+# ----------------------------------------------------------------------
+
+
+def encode_batch_v2(
+    round_id: str,
+    reports: Any,
+    codec: str | PayloadCodec,
+    attr: str = DEFAULT_ATTR,
+) -> str:
+    """Encode one mechanism's report batch as v2 JSON lines.
+
+    ``codec`` is a registered payload codec (or its name); each line is one
+    :class:`ReportEnvelope`. Like v1 encoding, lines share a pre-formatted
+    prefix/suffix so only the payload is serialized per report.
+    """
+    if isinstance(codec, str):
+        codec = get_codec(codec)
+    payloads = codec.to_payloads(reports)
+    prefix = (
+        f'{{"round_id":{json.dumps(round_id)},'
+        f'"mech":{json.dumps(codec.name)},"payload":'
+    )
+    attr_part = "" if attr == DEFAULT_ATTR else f',"attr":{json.dumps(attr)}'
+    suffix = f',"version":{PROTOCOL_V2}{attr_part}}}'
+    dumps = json.dumps
+    return "\n".join(
+        f"{prefix}{dumps(p, separators=(',', ':'))}{suffix}" for p in payloads
+    )
+
+
+def decode_feed_grouped(
+    payload: str, expected_round: str | None = None
+) -> tuple[str, dict[str, FeedGroup]]:
+    """Decode a mixed v1/v2 feed into per-attribute report batches.
+
+    All lines must belong to one collection round (checked against
+    ``expected_round`` when given) and each attribute must report through a
+    single mechanism codec. Returns ``(round_id, {attr: FeedGroup})``; the
+    groups partition the feed exactly — every line lands in exactly one
+    group, in feed order.
+    """
+    round_id: str | None = expected_round
+    mechanisms: dict[str, str] = {}
+    payloads: dict[str, list] = {}
+    for lineno, line in enumerate(payload.splitlines(), start=1):
+        if not line.strip():
+            continue
+        envelope = ReportEnvelope.from_json(line, lineno=lineno)
+        if round_id is None:
+            round_id = envelope.round_id
+        elif envelope.round_id != round_id:
+            raise ValueError(
+                f"{_at_line(lineno)}report for round {envelope.round_id!r} "
+                f"mixed into round {round_id!r}"
+            )
+        known = mechanisms.setdefault(envelope.attr, envelope.mechanism)
+        if envelope.mechanism != known:
+            raise ValueError(
+                f"{_at_line(lineno)}attribute {envelope.attr!r} mixes "
+                f"mechanism {envelope.mechanism!r} into {known!r}"
+            )
+        payloads.setdefault(envelope.attr, []).append(envelope.payload)
+    if not payloads:
+        raise ValueError("payload contained no reports")
+    assert round_id is not None
+    groups = {}
+    for attr, rows in payloads.items():
+        codec = get_codec(mechanisms[attr])
+        try:
+            reports = codec.from_payloads(rows)
+        except ValueError as exc:
+            raise ValueError(f"attribute {attr!r}: {exc}") from exc
+        groups[attr] = FeedGroup(
+            attr=attr, mechanism=codec.name, reports=reports, n=len(rows)
+        )
+    return round_id, groups
+
+
+def decode_feed(
+    payload: str,
+    expected_round: str | None = None,
+    expected_attr: str | None = None,
+) -> FeedGroup:
+    """Decode a single-attribute v1/v2 feed into one report batch.
+
+    The single-attribute counterpart of :func:`decode_feed_grouped`: a feed
+    carrying any other attribute fails loudly (against ``expected_attr``
+    when given, or against homogeneity otherwise).
+    """
+    _, groups = decode_feed_grouped(payload, expected_round=expected_round)
+    if expected_attr is not None:
+        foreign = set(groups) - {expected_attr}
+        if foreign:
+            raise ValueError(
+                f"report for attribute {sorted(foreign)[0]!r} mixed into "
+                f"attribute {expected_attr!r}"
+            )
+        return groups[expected_attr]
+    if len(groups) != 1:
+        raise ValueError(
+            f"feed mixes attributes {sorted(groups)}; use decode_feed_grouped"
+        )
+    return next(iter(groups.values()))

@@ -1,53 +1,496 @@
-"""Server side of an SW collection round: streaming ingestion + estimation.
+"""Server side of a collection round: mechanism-agnostic streaming ingestion.
 
-``SWServer`` accumulates report *counts* rather than raw reports, so memory
-stays O(d) no matter how many users stream in, and an estimate can be
-produced at any point mid-round (each estimate reruns EMS on the counts so
-far — the reports themselves are never needed again after bucketization).
+:class:`CollectionServer` is a round-scoped wrapper around *any* registry
+estimator (:func:`repro.api.make_estimator`): wire-format decoding and
+round/attribute enforcement live here, while aggregation rides the
+estimator's own ingest/merge/to_state machinery — memory stays O(state) no
+matter how many users stream in, and shard servers for the same round
+``merge`` exactly. Both wire transports route through one code path: the
+columnar binary frames of :mod:`repro.protocol.frames` for bulk feeds, and
+v1/v2 JSON lines (:mod:`repro.protocol.messages`) for the greppable form.
 
-The server is a thin round-scoped wrapper around
-:class:`~repro.core.pipeline.SWEstimator`: wire-format decoding and round-id
-enforcement live here, while the EM configuration comes from one shared
-:class:`repro.api.EMConfig` (so e.g. the paper's EM tolerance rule cannot
-drift between the server and the offline estimators). Shard servers for the
-same round ``merge`` exactly and serialize via ``to_state()``/``from_state()``.
+Mid-round ``estimate()`` is *incremental*: the server caches the last
+posterior keyed on a fingerprint of the aggregation state, skips the solve
+entirely when nothing new arrived, and — for the EM-backed families —
+warm-starts the solver from the cached posterior
+(:meth:`repro.api.EMConfig.run` ``x0``), so a small ingest delta costs a
+handful of EM iterations instead of a cold solve from the uniform prior.
 
-Reconstruction routes through :mod:`repro.engine`: the round's transition
-matrix is served read-only from the process-wide cache (validated once at
-insert), so many concurrent rounds with the same mechanism parameters share
-one array, and each mid-round ``estimate()`` skips re-validating it.
+:class:`PlanServer` serves a whole :class:`~repro.tasks.plan.AnalysisPlan`
+— one ``CollectionServer`` per planned attribute — off a single mixed
+frame/JSONL feed, and emits the typed
+:class:`~repro.tasks.results.AnalysisReport`.
+
+:class:`SWServer` remains as a thin deprecation shim over
+``CollectionServer`` for the original Square-Wave-only API.
 """
 
 from __future__ import annotations
+
+import json
+import warnings
+from typing import Any
 
 import numpy as np
 
 from repro.api.base import Estimator
 from repro.api.config import DEFAULT_MAX_ITER, EMConfig
-from repro.core.em import EMResult
-from repro.core.pipeline import SWEstimator
-from repro.protocol.messages import DEFAULT_ATTR, SWReport, decode_batch
+from repro.api.errors import EmptyAggregateError
+from repro.api.registry import make_estimator
+from repro.binning.cfo_binning import CFOBinning
+from repro.core.pipeline import SWEstimator, WaveEstimator
+from repro.protocol.codecs import codec_for_estimator
+from repro.protocol.frames import (
+    decode_any_feed,
+    decode_frame_grouped,
+    encode_frame,
+)
+from repro.protocol.messages import (
+    DEFAULT_ATTR,
+    FeedGroup,
+    SWReport,
+    decode_feed_grouped,
+    encode_batch_v2,
+)
 
-__all__ = ["SWServer"]
+__all__ = ["CollectionServer", "PlanServer", "SWServer"]
+
+#: Uniform-mixing weight applied to a cached posterior before it warm-starts
+#: EM — keeps every coordinate strictly positive (EM cannot move a zero), at
+#: a perturbation far below the noise floor of any real round.
+_WARM_START_MIX = 1e-6
 
 
-class SWServer:
-    """Aggregates SW reports for one round and reconstructs the histogram.
+def _copy_estimate(value: Any) -> Any:
+    """Defensive copy of an estimate (ndarray, list of ndarrays, or scalar)."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, list):
+        return [_copy_estimate(item) for item in value]
+    return value
+
+
+class CollectionServer:
+    """Aggregates any mechanism's reports for one round and reconstructs.
 
     Parameters
     ----------
-    round_id, epsilon, b:
-        Must match the round's :class:`~repro.protocol.client.SWClient`.
-    d:
-        Reconstruction granularity (also the report bucket count).
-    postprocess, tol, max_iter:
-        EM/EMS controls; equivalently pass a pre-built ``config``
-        (:class:`repro.api.EMConfig`), which takes precedence.
+    round_id:
+        Identifier all of the round's feeds must carry.
+    mechanism:
+        Registry estimator name (see ``repro.api.list_estimators``).
+    epsilon, d, kwargs:
+        Forwarded to :func:`repro.api.make_estimator`.
     attr:
-        Attribute id this single-attribute round serves. Batch decoding
-        rejects reports stamped with any other attribute, so a mixed
-        multi-attribute session feed fails loudly instead of being
-        silently folded into one histogram.
+        Attribute id this single-attribute round serves; feeds stamped with
+        any other attribute are rejected, so a mixed multi-attribute
+        session feed fails loudly instead of being silently folded in.
+    incremental:
+        Keep the last posterior (keyed on the aggregation-state
+        fingerprint) so mid-round ``estimate()`` calls skip unchanged
+        solves and warm-start EM after small deltas. ``False`` restores
+        the always-cold behaviour (useful for benchmarking the
+        difference).
+    """
+
+    def __init__(
+        self,
+        round_id: str,
+        mechanism: str,
+        epsilon: float,
+        d: int | None = None,
+        *,
+        attr: str = DEFAULT_ATTR,
+        incremental: bool = True,
+        **kwargs,
+    ) -> None:
+        estimator = make_estimator(mechanism, epsilon, d, **kwargs)
+        self._bind(round_id, estimator, attr, str(mechanism), incremental)
+
+    def _bind(
+        self,
+        round_id: str,
+        estimator: Estimator,
+        attr: str,
+        mechanism_name: str,
+        incremental: bool,
+    ) -> None:
+        self.round_id = str(round_id)
+        self.attr = str(attr)
+        self.mechanism_name = mechanism_name
+        self.incremental = bool(incremental)
+        self._estimator = estimator
+        self._codec = codec_for_estimator(estimator)
+        self._cached: Any = None
+        self._cached_key: str | None = None
+
+    @classmethod
+    def for_estimator(
+        cls,
+        round_id: str,
+        estimator: Estimator,
+        *,
+        attr: str = DEFAULT_ATTR,
+        mechanism: str | None = None,
+        incremental: bool = True,
+    ) -> "CollectionServer":
+        """Wrap an existing estimator (shared aggregation state) in a server."""
+        server = cls.__new__(cls)
+        CollectionServer._bind(
+            server,
+            round_id,
+            estimator,
+            attr,
+            estimator.name if mechanism is None else str(mechanism),
+            incremental,
+        )
+        return server
+
+    # -- delegated views ---------------------------------------------------
+    @property
+    def estimator(self) -> Estimator:
+        """The underlying streaming estimator (shared aggregation state)."""
+        return self._estimator
+
+    @property
+    def codec(self):
+        """The payload codec this round's reports travel under."""
+        return self._codec
+
+    @property
+    def n_reports(self) -> int:
+        """Reports ingested so far."""
+        return self._estimator.n_reports
+
+    # -- client-side conveniences (simulation) -----------------------------
+    def privatize(self, values: np.ndarray, rng=None) -> Any:
+        """Randomize raw values with the round's mechanism (client side)."""
+        return self._estimator.privatize(values, rng=rng)
+
+    def encode(self, reports: Any, *, format: str = "frame") -> bytes | str:
+        """Encode one report batch as this round's wire feed.
+
+        ``format="frame"`` produces the columnar binary form,
+        ``format="jsonl"`` the v2 JSON-lines form.
+        """
+        if format == "frame":
+            return encode_frame(self.round_id, reports, self._codec, attr=self.attr)
+        if format == "jsonl":
+            return encode_batch_v2(self.round_id, reports, self._codec, attr=self.attr)
+        raise ValueError(f"format must be 'frame' or 'jsonl', got {format!r}")
+
+    # -- ingestion ---------------------------------------------------------
+    def ingest_reports(self, reports: Any) -> int:
+        """Add one already-decoded report batch; returns the report count."""
+        n = self._codec.n_reports(reports)
+        self._estimator.ingest(reports)
+        return n
+
+    def _ingest_group(self, group: FeedGroup) -> int:
+        if group.mechanism != self._codec.name:
+            raise ValueError(
+                f"feed for attribute {self.attr!r} carries "
+                f"{group.mechanism!r} payloads, server expects "
+                f"{self._codec.name!r}"
+            )
+        self._estimator.ingest(group.reports)
+        return group.n
+
+    def _ingest_groups(self, groups: dict[str, FeedGroup]) -> int:
+        foreign = set(groups) - {self.attr}
+        if foreign:
+            raise ValueError(
+                f"feed for attribute {sorted(foreign)[0]!r} sent to "
+                f"attribute {self.attr!r}"
+            )
+        return self._ingest_group(groups[self.attr])
+
+    def ingest_frame(self, data: bytes) -> int:
+        """Add a binary frame; returns the number of reports ingested."""
+        _, groups = decode_frame_grouped(data, expected_round=self.round_id)
+        return self._ingest_groups(groups)
+
+    def ingest_lines(self, payload: str) -> int:
+        """Add a v1/v2 JSON-lines batch; returns the reports ingested."""
+        _, groups = decode_feed_grouped(payload, expected_round=self.round_id)
+        return self._ingest_groups(groups)
+
+    def ingest_feed(self, data: bytes | str) -> int:
+        """Add a feed of either transport (binary frame or JSON lines)."""
+        _, groups = decode_any_feed(data, expected_round=self.round_id)
+        return self._ingest_groups(groups)
+
+    # -- estimation --------------------------------------------------------
+    def _warm_startable(self) -> bool:
+        est = self._estimator
+        if isinstance(est, WaveEstimator):
+            return True
+        return isinstance(est, CFOBinning) and est.em is not None
+
+    def _state_key(self) -> str:
+        """Cheap fingerprint of the aggregation state the cache is keyed on.
+
+        Serializing ``_state()`` is O(state) — negligible next to a solve —
+        and content-based, so the cache cannot serve a stale posterior when
+        the state changed without the report count changing (e.g. a caller
+        ``reset()`` the shared estimator and re-ingested an equal-sized
+        batch).
+        """
+        return json.dumps(self._estimator._state(), sort_keys=True)
+
+    def estimate(self) -> Any:
+        """Reconstruct from all reports so far (incremental mid-round).
+
+        With ``incremental=True`` (the default) the solve is skipped when
+        the aggregation state is unchanged since the last call, and
+        EM-backed estimators warm-start from the cached posterior
+        otherwise. Raises :class:`repro.EmptyAggregateError` naming the
+        round and attribute while the round is still empty.
+        """
+        if self._estimator.n_reports == 0:
+            raise EmptyAggregateError(
+                f"no reports ingested for round {self.round_id!r}, "
+                f"attribute {self.attr!r}"
+            )
+        key = self._state_key() if self.incremental else None
+        if self.incremental and key == self._cached_key:
+            return _copy_estimate(self._cached)
+        x0 = None
+        if (
+            self.incremental
+            and isinstance(self._cached, np.ndarray)
+            and self._warm_startable()
+        ):
+            prev = self._cached
+            x0 = (1.0 - _WARM_START_MIX) * prev + _WARM_START_MIX / prev.size
+        if x0 is not None:
+            estimate = self._estimator.estimate(x0=x0)
+        else:
+            estimate = self._estimator.estimate()
+        if self.incremental:
+            self._cached = _copy_estimate(estimate)
+            self._cached_key = key
+        return estimate
+
+    # -- shard merge + serialization --------------------------------------
+    def merge(self, other: "CollectionServer") -> "CollectionServer":
+        """Fold another shard server's aggregation state into this round's."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other.round_id != self.round_id:
+            raise ValueError(
+                f"cannot merge round {other.round_id!r} into round "
+                f"{self.round_id!r}"
+            )
+        if other.attr != self.attr:
+            raise ValueError(
+                f"cannot merge attribute {other.attr!r} into attribute "
+                f"{self.attr!r}"
+            )
+        self._estimator.merge(other._estimator)
+        self._cached = None
+        self._cached_key = None
+        return self
+
+    def to_state(self) -> dict:
+        """Serialize the round identity plus the aggregation state."""
+        return {
+            "class": "repro.protocol.server:CollectionServer",
+            "round_id": self.round_id,
+            "attr": self.attr,
+            "mechanism": self.mechanism_name,
+            "incremental": self.incremental,
+            "estimator": self._estimator.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "CollectionServer":
+        """Rebuild a shard server from :meth:`to_state` output."""
+        estimator = Estimator.from_state(payload["estimator"])
+        return cls.for_estimator(
+            payload["round_id"],
+            estimator,
+            attr=payload.get("attr", DEFAULT_ATTR),
+            mechanism=payload.get("mechanism"),
+            incremental=payload.get("incremental", True),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(round_id={self.round_id!r}, "
+            f"mechanism={self.mechanism_name!r}, attr={self.attr!r}, "
+            f"codec={self._codec.name!r}, n_reports={self.n_reports})"
+        )
+
+
+class PlanServer:
+    """Serves a whole analysis plan off one mixed multi-attribute feed.
+
+    One :class:`CollectionServer` per planned attribute, all sharing the
+    underlying :class:`~repro.tasks.session.Session` aggregation state —
+    frames and JSON-lines feeds route each block to the right attribute's
+    server, per-attribute ``estimate()`` is incremental, and
+    :meth:`report` emits the typed
+    :class:`~repro.tasks.results.AnalysisReport` in real-world units.
+
+    Parameters
+    ----------
+    plan:
+        The declarative :class:`~repro.tasks.plan.AnalysisPlan` to serve.
+    round_id:
+        Identifier all of the round's feeds must carry.
+    planned:
+        Optional pre-resolved :class:`~repro.tasks.planner.PlannedAnalysis`
+        (plan once, fan out to shard servers).
+    incremental:
+        Forwarded to every per-attribute :class:`CollectionServer`.
+    """
+
+    def __init__(
+        self,
+        plan,
+        round_id: str,
+        *,
+        planned=None,
+        incremental: bool = True,
+    ) -> None:
+        from repro.tasks.session import Session
+
+        self._bind_session(Session(plan, planned=planned), round_id, incremental)
+
+    def _bind_session(self, session, round_id: str, incremental: bool) -> None:
+        self.session = session
+        self.round_id = str(round_id)
+        self.incremental = bool(incremental)
+        self._servers = {
+            name: CollectionServer.for_estimator(
+                self.round_id,
+                estimator,
+                attr=name,
+                mechanism=session.planned.choice_for(name).mechanism,
+                incremental=incremental,
+            )
+            for name, estimator in session.estimators.items()
+        }
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def plan(self):
+        return self.session.plan
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.session.attributes
+
+    @property
+    def n_reports(self) -> dict[str, int]:
+        """Reports ingested so far, per attribute."""
+        return self.session.n_reports
+
+    def server(self, attr: str) -> CollectionServer:
+        """The per-attribute collection server (shared aggregation state)."""
+        try:
+            return self._servers[attr]
+        except KeyError:
+            raise ValueError(
+                f"plan declares no attribute {attr!r}; "
+                f"available: {sorted(self._servers)}"
+            ) from None
+
+    # -- ingestion ---------------------------------------------------------
+    def ingest_feed(self, data: bytes | str) -> int:
+        """Route one mixed frame/JSONL feed; returns the reports ingested.
+
+        Delegates to :meth:`repro.tasks.session.Session.ingest_feed` (the
+        per-attribute servers share the session's estimators), inheriting
+        its all-or-nothing guarantee: a feed rejected for any block leaves
+        no aggregator changed.
+        """
+        return self.session.ingest_feed(data, round_id=self.round_id)
+
+    # -- estimation --------------------------------------------------------
+    def estimate(self, attr: str) -> Any:
+        """One attribute's reconstruction (incremental mid-round)."""
+        return self.server(attr).estimate()
+
+    def report(self, *, confidence: float | None = None, n_bootstrap: int = 100, rng=None):
+        """Answer every task in the plan from the state aggregated so far.
+
+        Reconstructions route through each attribute's incremental server
+        (cached posteriors are reused, EM warm-starts after deltas) and the
+        session turns them into the typed
+        :class:`~repro.tasks.results.AnalysisReport`. Raises
+        :class:`repro.EmptyAggregateError` naming the round and the
+        still-empty attribute if any aggregator has no reports yet.
+        """
+        try:
+            estimates = {
+                attr: server.estimate() for attr, server in self._servers.items()
+            }
+            return self.session.results(
+                confidence=confidence,
+                n_bootstrap=n_bootstrap,
+                rng=rng,
+                precomputed=estimates,
+            )
+        except EmptyAggregateError as exc:
+            raise EmptyAggregateError(f"round {self.round_id!r}: {exc}") from exc
+
+    # -- shard merge + serialization --------------------------------------
+    def merge(self, other: "PlanServer") -> "PlanServer":
+        """Fold another shard plan-server's state into this round's."""
+        if not isinstance(other, PlanServer):
+            raise TypeError(f"cannot merge {type(other).__name__} into PlanServer")
+        if other.round_id != self.round_id:
+            raise ValueError(
+                f"cannot merge round {other.round_id!r} into round "
+                f"{self.round_id!r}"
+            )
+        self.session.merge(other.session)
+        for server in self._servers.values():
+            server._cached = None
+            server._cached_key = None
+        return self
+
+    def to_state(self) -> dict:
+        """Serialize the round identity plus the whole session state."""
+        return {
+            "class": "repro.protocol.server:PlanServer",
+            "round_id": self.round_id,
+            "incremental": self.incremental,
+            "session": self.session.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "PlanServer":
+        """Rebuild a shard plan-server from :meth:`to_state` output."""
+        from repro.tasks.session import Session
+
+        server = cls.__new__(cls)
+        server._bind_session(
+            Session.from_state(payload["session"]),
+            payload["round_id"],
+            payload.get("incremental", True),
+        )
+        return server
+
+    def __repr__(self) -> str:
+        mechanisms = {name: s.mechanism_name for name, s in self._servers.items()}
+        return (
+            f"PlanServer(round_id={self.round_id!r}, mechanisms={mechanisms}, "
+            f"n_reports={self.n_reports})"
+        )
+
+
+class SWServer(CollectionServer):
+    """Deprecated Square-Wave-only server; use :class:`CollectionServer`.
+
+    Kept as a thin shim so existing deployments keep working: the full
+    pre-v2 API (v1 ``ingest_batch``, delegated EM views, ``to_state``
+    layout) is preserved on top of the generic server — including its new
+    incremental ``estimate()``.
     """
 
     def __init__(
@@ -63,18 +506,18 @@ class SWServer:
         config: EMConfig | None = None,
         attr: str = DEFAULT_ATTR,
     ) -> None:
+        warnings.warn(
+            "SWServer is deprecated; use CollectionServer(round_id, 'sw-ems', "
+            "epsilon, d, ...) which serves every registered mechanism",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if config is None:
             config = EMConfig(postprocess=postprocess, tol=tol, max_iter=max_iter)
-        self.round_id = str(round_id)
-        self.attr = str(attr)
-        self._estimator = SWEstimator(epsilon, d, b=b, config=config)
+        estimator = SWEstimator(epsilon, d, b=b, config=config)
+        self._bind(round_id, estimator, attr, f"sw-{config.postprocess}", True)
 
-    # -- delegated views ---------------------------------------------------
-    @property
-    def estimator(self) -> SWEstimator:
-        """The underlying streaming estimator (shared aggregation state)."""
-        return self._estimator
-
+    # -- pre-v2 delegated views -------------------------------------------
     @property
     def mechanism(self):
         return self._estimator.mechanism
@@ -110,17 +553,12 @@ class SWServer:
         return self._estimator.transition_matrix
 
     @property
-    def result_(self) -> EMResult | None:
+    def result_(self):
         return self._estimator.result_
 
-    @property
-    def n_reports(self) -> int:
-        """Reports ingested so far."""
-        return self._estimator.n_reports
-
-    # -- ingestion ---------------------------------------------------------
+    # -- pre-v2 ingestion API ---------------------------------------------
     def ingest(self, report: SWReport) -> None:
-        """Add one report to the round."""
+        """Add one v1 report to the round."""
         if report.round_id != self.round_id:
             raise ValueError(
                 f"report for round {report.round_id!r} sent to round "
@@ -135,38 +573,13 @@ class SWServer:
 
     def ingest_batch(self, payload: str) -> int:
         """Add a JSON-lines batch; returns the number of reports ingested."""
-        values = decode_batch(
-            payload, expected_round=self.round_id, expected_attr=self.attr
-        )
-        self._estimator.ingest(values)
-        return values.size
+        return self.ingest_lines(payload)
 
     def ingest_values(self, values: np.ndarray) -> None:
         """Add already-decoded randomized values (simulation fast path)."""
         self._estimator.ingest(np.asarray(values, dtype=np.float64))
 
-    def estimate(self) -> np.ndarray:
-        """Reconstruct the input histogram from all reports so far."""
-        return self._estimator.estimate()
-
-    # -- shard merge + serialization --------------------------------------
-    def merge(self, other: "SWServer") -> "SWServer":
-        """Fold another shard server's counts into this round's state."""
-        if not isinstance(other, SWServer):
-            raise TypeError(f"cannot merge {type(other).__name__} into SWServer")
-        if other.round_id != self.round_id:
-            raise ValueError(
-                f"cannot merge round {other.round_id!r} into round "
-                f"{self.round_id!r}"
-            )
-        if other.attr != self.attr:
-            raise ValueError(
-                f"cannot merge attribute {other.attr!r} into attribute "
-                f"{self.attr!r}"
-            )
-        self._estimator.merge(other._estimator)
-        return self
-
+    # -- pre-v2 serialization layout --------------------------------------
     def to_state(self) -> dict:
         """Serialize the round identity plus the aggregation state."""
         return {

@@ -14,12 +14,15 @@ lifecycle as every estimator in the package:
 * ``results()`` — answer every task, in real-world units, with optional
   bootstrap confidence intervals and per-task budget attribution.
 
-Sessions also speak the JSON-lines wire format: ``encode_reports`` stamps
-each randomized value with its attribute id
-(:class:`repro.protocol.messages.SWReport` ``attr`` field) and
-``ingest_payload`` routes a mixed multi-attribute feed back to the right
-aggregators — so a plan can be served over the same wire as a plain SW
-round.
+Sessions also speak the wire formats. The legacy v1 helpers
+(``encode_reports``/``ingest_payload``) carry wave and scalar reports as
+attribute-stamped SW JSON lines; the protocol-v2 pair
+``to_feed``/``ingest_feed`` round-trips *every* mechanism family — each
+attribute's reports travel under its estimator's payload codec
+(:mod:`repro.protocol.codecs`), either as one mixed columnar binary frame
+(:mod:`repro.protocol.frames`) or as envelope JSON lines — so a session is
+servable by a :class:`repro.protocol.server.PlanServer` over the same wire
+as a plain collection round.
 """
 
 from __future__ import annotations
@@ -267,6 +270,83 @@ class Session:
             total += values.size
         return total
 
+    def to_feed(
+        self,
+        reports: Mapping[str, Any],
+        round_id: str,
+        *,
+        format: str = "frame",
+    ) -> bytes | str:
+        """Encode per-attribute reports as one mixed protocol-v2 feed.
+
+        Unlike the v1 :meth:`encode_reports`, every mechanism family is
+        servable: each attribute's batch travels under its estimator's
+        payload codec. ``format="frame"`` returns the columnar binary form
+        (one frame, one block per attribute), ``format="jsonl"`` the
+        envelope JSON-lines form. Invert with :meth:`ingest_feed` (or serve
+        through :class:`repro.protocol.server.PlanServer`).
+        """
+        from repro.protocol.codecs import codec_for_estimator
+        from repro.protocol.frames import encode_frame_blocks
+        from repro.protocol.messages import encode_batch_v2
+
+        unknown = set(reports) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"reports for undeclared attributes {sorted(unknown)}")
+        if not reports:
+            raise ValueError("no reports to encode")
+        blocks = [
+            (name, codec_for_estimator(self._estimators[name]), batch)
+            for name, batch in reports.items()
+        ]
+        if format == "frame":
+            return encode_frame_blocks(round_id, blocks)
+        if format == "jsonl":
+            return "\n".join(
+                encode_batch_v2(round_id, batch, codec, attr=name)
+                for name, codec, batch in blocks
+            )
+        raise ValueError(f"format must be 'frame' or 'jsonl', got {format!r}")
+
+    def ingest_feed(self, feed: bytes | str, round_id: str | None = None) -> int:
+        """Decode a mixed frame/JSONL feed and route it; returns the count.
+
+        Accepts the binary frame form (``bytes``) or v1/v2 JSON lines
+        (``str``); each attribute's payloads must travel under the codec
+        its planned estimator expects. The feed ingests **atomically**: if
+        any attribute's block is rejected — wrong codec, reports outside
+        the mechanism's domain — no aggregator keeps any of the feed, so a
+        corrected retry cannot double-count the blocks that were valid.
+        """
+        from repro.protocol.codecs import codec_for_estimator
+        from repro.protocol.frames import decode_any_feed
+
+        _, groups = decode_any_feed(feed, expected_round=round_id)
+        unknown = set(groups) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"feed reports undeclared attributes {sorted(unknown)}")
+        for name, group in groups.items():
+            expected = codec_for_estimator(self._estimators[name]).name
+            if group.mechanism != expected:
+                raise ValueError(
+                    f"attribute {name!r}: feed carries {group.mechanism!r} "
+                    f"payloads, plan estimator expects {expected!r}"
+                )
+        # All-or-nothing: aggregation state is O(state), so snapshotting it
+        # is cheap, and ingest errors (e.g. out-of-domain reports) must not
+        # leave the earlier attributes' blocks half-applied.
+        snapshots = {name: self._estimators[name]._state() for name in groups}
+        total = 0
+        try:
+            for name, group in groups.items():
+                self._estimators[name].ingest(group.reports)
+                total += group.n
+        except Exception:
+            for name, state in snapshots.items():
+                self._estimators[name]._load_state(state)
+            raise
+        return total
+
     # -- shard merge + serialization --------------------------------------
     def merge(self, other: "Session") -> "Session":
         """Combine another shard's session state into this one, exactly."""
@@ -433,14 +513,20 @@ class Session:
         confidence: float | None = None,
         n_bootstrap: int = 100,
         rng=None,
+        precomputed: Mapping[str, Any] | None = None,
     ) -> AnalysisReport:
         """Answer every task in the plan from the state aggregated so far.
 
         ``confidence`` turns on parametric-bootstrap intervals
         (:mod:`repro.core.confidence`) for attributes served by wave
         estimators; scalar and hierarchical mechanisms report ``ci=None``.
-        Raises :class:`repro.EmptyAggregateError` naming the attribute and
-        its tasks if any aggregator is still empty.
+        ``precomputed`` supplies already-solved per-attribute estimates —
+        the incremental posterior cache of a
+        :class:`repro.protocol.server.PlanServer` — so serving doesn't
+        re-run reconstructions the caller just produced; attributes absent
+        from it are estimated fresh. Raises
+        :class:`repro.EmptyAggregateError` naming the attribute and its
+        tasks if any aggregator is still empty.
         """
         if confidence is not None and not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must be in (0, 1), got {confidence}")
@@ -449,7 +535,10 @@ class Session:
         estimates: dict[str, Any] = {}
         bands: dict[str, Any] = {}
         for name in self.attributes:
-            estimates[name] = self._estimate(name)
+            if precomputed is not None and name in precomputed:
+                estimates[name] = precomputed[name]
+            else:
+                estimates[name] = self._estimate(name)
             # Bootstrap only where some task will consume the bands —
             # marginals-only attributes would waste n_bootstrap EM solves.
             wants_bands = confidence is not None and any(

@@ -1,0 +1,96 @@
+"""Warm-start (x0) behaviour of the EM solver through EMConfig."""
+
+import numpy as np
+import pytest
+
+from repro.api.config import EMConfig
+from repro.core.square_wave import SquareWave
+from repro.engine.solver import batched_expectation_maximization
+
+
+@pytest.fixture(scope="module")
+def problem():
+    d = 48
+    rng = np.random.default_rng(0)
+    matrix = np.asarray(SquareWave(1.0).transition_matrix(d, d))
+    truth = rng.dirichlet(np.ones(d) * 2.0)
+    counts = rng.multinomial(60_000, matrix @ truth).astype(np.float64)
+    return matrix, counts
+
+
+class TestConfigPlumbing:
+    def test_run_forwards_x0(self, problem):
+        matrix, counts = problem
+        config = EMConfig(postprocess="ems")
+        cold = config.run(matrix, counts, 1.0)
+        warm = config.run(matrix, counts, 1.0, x0=cold.estimate)
+        assert warm.iterations < cold.iterations
+        np.testing.assert_allclose(warm.estimate, cold.estimate, atol=2e-3)
+
+    def test_run_many_forwards_x0(self, problem):
+        matrix, counts = problem
+        config = EMConfig(postprocess="em")
+        stacked = np.stack([counts, counts * 2.0], axis=1)
+        cold = config.run_many(matrix, stacked, 1.0)
+        warm = config.run_many(matrix, stacked, 1.0, x0=cold.estimates)
+        assert (warm.iterations <= cold.iterations).all()
+        assert warm.iterations.sum() < cold.iterations.sum()
+
+    def test_default_is_uniform_prior(self, problem):
+        """x0=None keeps the historical behaviour bit for bit."""
+        matrix, counts = problem
+        config = EMConfig(postprocess="ems")
+        np.testing.assert_array_equal(
+            config.run(matrix, counts, 1.0).estimate,
+            config.run(matrix, counts, 1.0, x0=None).estimate,
+        )
+
+    def test_shared_x0_matches_solver(self, problem):
+        matrix, counts = problem
+        config = EMConfig(postprocess="ems")
+        start = np.full(matrix.shape[1], 1.0 / matrix.shape[1])
+        via_config = config.run(matrix, counts, 1.0, x0=start)
+        via_solver = batched_expectation_maximization(
+            matrix,
+            counts[:, None],
+            tol=config.resolve_tolerance(1.0),
+            max_iter=config.max_iter,
+            smoothing_kernel=config.kernel(),
+            x0=start,
+        ).column(0)
+        np.testing.assert_array_equal(via_config.estimate, via_solver.estimate)
+
+    def test_invalid_x0_rejected(self, problem):
+        matrix, counts = problem
+        config = EMConfig()
+        with pytest.raises(ValueError, match="x0"):
+            config.run(matrix, counts, 1.0, x0=-np.ones(matrix.shape[1]))
+
+
+class TestWarmStartSemantics:
+    def test_perturbed_start_reaches_equivalent_optimum(self, problem):
+        """EM from a nearby (strictly positive) start reaches a solution at
+        least as likely as the cold one, and statistically equivalent.
+
+        Pointwise identity is too strong at finite tolerance — the
+        likelihood surface is flat near the MLE — so the contract is
+        likelihood-equivalence plus a small Wasserstein distance.
+        """
+        from repro.metrics.distances import wasserstein_distance
+
+        matrix, counts = problem
+        config = EMConfig(postprocess="em", tol=1e-8)
+        cold = config.run(matrix, counts, 1.0)
+        mixed = 0.9 * cold.estimate + 0.1 / cold.estimate.size
+        warm = config.run(matrix, counts, 1.0, x0=mixed)
+        assert warm.log_likelihood >= cold.log_likelihood - 1e-4 * abs(
+            cold.log_likelihood
+        )
+        assert wasserstein_distance(cold.estimate, warm.estimate) < 5e-3
+
+    def test_warm_start_monotone_likelihood(self, problem):
+        matrix, counts = problem
+        config = EMConfig(postprocess="em")
+        cold = config.run(matrix, counts, 1.0)
+        warm = config.run(matrix, counts, 1.0, x0=cold.estimate)
+        assert warm.log_likelihood >= cold.log_likelihood - 1e-6

@@ -1,0 +1,134 @@
+"""Tests for the columnar binary frame format and frame↔JSONL equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocol.codecs import get_codec
+from repro.protocol.frames import (
+    FRAME_MAGIC,
+    decode_frame,
+    decode_frame_grouped,
+    encode_frame,
+    encode_frame_blocks,
+    is_frame,
+)
+from repro.protocol.messages import decode_feed_grouped, encode_batch_v2
+from tests.protocol.test_codecs import BATCHES, assert_batches_equal
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("name", sorted(BATCHES))
+    @given(data=st.data())
+    def test_single_block_roundtrip(self, name, data):
+        batch = data.draw(BATCHES[name])
+        frame = encode_frame("r1", batch, name, attr="income")
+        group = decode_frame(frame, expected_round="r1", expected_attr="income")
+        assert group.mechanism == name
+        assert group.n == get_codec(name).n_reports(batch)
+        assert_batches_equal(group.reports, batch)
+
+    @given(data=st.data())
+    def test_grouped_decode_partitions_exactly(self, data):
+        """Every block lands in exactly one group, keyed by its attribute."""
+        names = data.draw(
+            st.lists(st.sampled_from(sorted(BATCHES)), min_size=1, max_size=4,
+                     unique=True)
+        )
+        blocks = [
+            (f"attr-{name}", name, data.draw(BATCHES[name])) for name in names
+        ]
+        frame = encode_frame_blocks("r9", blocks)
+        round_id, groups = decode_frame_grouped(frame)
+        assert round_id == "r9"
+        assert set(groups) == {attr for attr, _, _ in blocks}
+        for attr, name, batch in blocks:
+            assert groups[attr].mechanism == name
+            assert groups[attr].n == get_codec(name).n_reports(batch)
+            assert_batches_equal(groups[attr].reports, batch)
+        assert sum(g.n for g in groups.values()) == sum(
+            get_codec(name).n_reports(batch) for _, name, batch in blocks
+        )
+
+    @pytest.mark.parametrize("name", sorted(BATCHES))
+    @given(data=st.data())
+    def test_frame_equals_jsonl(self, name, data):
+        """Both transports decode one batch to identical reports."""
+        batch = data.draw(BATCHES[name])
+        frame = encode_frame("r1", batch, name, attr="a")
+        lines = encode_batch_v2("r1", batch, name, attr="a")
+        _, from_frame = decode_frame_grouped(frame)
+        _, from_lines = decode_feed_grouped(lines)
+        assert set(from_frame) == set(from_lines) == {"a"}
+        assert from_frame["a"].mechanism == from_lines["a"].mechanism == name
+        assert_batches_equal(from_frame["a"].reports, from_lines["a"].reports)
+
+    def test_frame_is_compact(self, rng):
+        """1k SW float reports cost ~8 bytes each plus a fixed header."""
+        values = rng.random(1000)
+        frame = encode_frame("r", values, "float")
+        assert len(frame) < 8 * 1000 + 300
+
+
+class TestFrameValidation:
+    def test_magic_detected(self, rng):
+        frame = encode_frame("r", rng.random(4), "float")
+        assert is_frame(frame)
+        assert frame[:4] == FRAME_MAGIC
+        assert not is_frame(b"not a frame")
+        assert not is_frame("text")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_frame(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated_buffer_rejected(self, rng):
+        frame = encode_frame("r", rng.random(100), "float")
+        with pytest.raises(ValueError, match="truncated"):
+            decode_frame(frame[:-8])
+
+    def test_trailing_bytes_rejected(self, rng):
+        frame = encode_frame("r", rng.random(100), "float")
+        with pytest.raises(ValueError, match="trailing"):
+            decode_frame(frame + b"\x00" * 8)
+
+    def test_truncated_header_rejected(self, rng):
+        frame = encode_frame("r", rng.random(4), "float")
+        with pytest.raises(ValueError, match="truncated|header"):
+            decode_frame(frame[:10])
+
+    def test_round_mismatch_rejected(self, rng):
+        frame = encode_frame("round-a", rng.random(4), "float")
+        with pytest.raises(ValueError, match="round"):
+            decode_frame(frame, expected_round="round-b")
+
+    def test_attr_mismatch_rejected(self, rng):
+        frame = encode_frame("r", rng.random(4), "float", attr="income")
+        with pytest.raises(ValueError, match="attribute"):
+            decode_frame(frame, expected_round="r", expected_attr="age")
+
+    def test_multi_attr_frame_needs_grouped_decode(self, rng):
+        frame = encode_frame_blocks(
+            "r",
+            [("a", "float", rng.random(3)), ("b", "float", rng.random(2))],
+        )
+        with pytest.raises(ValueError, match="mixes attributes"):
+            decode_frame(frame)
+
+    def test_duplicate_attr_rejected_on_encode(self, rng):
+        with pytest.raises(ValueError, match="repeats"):
+            encode_frame_blocks(
+                "r",
+                [("a", "float", rng.random(3)), ("a", "float", rng.random(2))],
+            )
+
+    def test_unknown_codec_in_header_rejected(self, rng):
+        frame = bytearray(encode_frame("r", rng.random(4), "float"))
+        mutated = bytes(frame).replace(b'"mech":"float"', b'"mech":"nope!"')
+        with pytest.raises(ValueError, match="unknown payload codec"):
+            decode_frame(mutated)
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            encode_frame_blocks("r", [])

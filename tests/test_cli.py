@@ -206,3 +206,122 @@ class TestAnalyze:
         bad.write_text('{"attributes": [], "tasks": []}')
         assert main(["analyze", "--plan", str(bad), "--explain"]) == 2
         assert "missing required key" in capsys.readouterr().err
+
+
+class TestServeWorkflow:
+    """pack / unpack / collect: the protocol-v2 serving subcommands."""
+
+    @pytest.mark.parametrize("fmt", ["frame", "jsonl"])
+    @pytest.mark.parametrize("method", ["sw-ems", "olh", "sw-discrete-ems"])
+    def test_pack_collect_round_trip(self, tmp_path, values_file, method, fmt):
+        feed = tmp_path / "feed"
+        out = tmp_path / "est.csv"
+        assert main([
+            "pack", "--method", method, "--epsilon", "1.0", "--d", "64",
+            "--round-id", "r1", "--format", fmt,
+            "--input", str(values_file), "--output", str(feed), "--seed", "3",
+        ]) == 0
+        assert main([
+            "collect", "--method", method, "--epsilon", "1.0", "--d", "64",
+            "--round-id", "r1", "--input", str(feed), "--output", str(out),
+        ]) == 0
+        assert read_histogram_csv(out).shape == (64,)
+
+    def test_collect_merges_shard_feeds(self, tmp_path, values_file, capsys):
+        feeds = []
+        for i, fmt in enumerate(("frame", "jsonl")):
+            feed = tmp_path / f"shard{i}"
+            main([
+                "pack", "--epsilon", "1.0", "--d", "64", "--round-id", "r",
+                "--format", fmt, "--input", str(values_file),
+                "--output", str(feed), "--seed", str(i),
+            ])
+            feeds.append(str(feed))
+        out = tmp_path / "est.csv"
+        assert main([
+            "collect", "--epsilon", "1.0", "--d", "64", "--round-id", "r",
+            "--input", *feeds, "--output", str(out),
+        ]) == 0
+        assert "20000 reports across 2 feed(s)" in capsys.readouterr().out
+
+    def test_unpack_inspects_and_converts(self, tmp_path, values_file, capsys):
+        feed = tmp_path / "feed.rpf"
+        main([
+            "pack", "--method", "grr", "--epsilon", "1.0", "--d", "32",
+            "--round-id", "r9", "--format", "frame",
+            "--input", str(values_file), "--output", str(feed), "--seed", "1",
+        ])
+        jsonl = tmp_path / "feed.jsonl"
+        assert main([
+            "unpack", "--input", str(feed), "--format", "jsonl",
+            "--output", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "round 'r9'" in out and "category payloads" in out
+        first = jsonl.read_text().splitlines()[0]
+        assert '"mech":"category"' in first
+        # The converted feed still collects.
+        est = tmp_path / "est.csv"
+        assert main([
+            "collect", "--method", "grr", "--epsilon", "1.0", "--d", "32",
+            "--round-id", "r9", "--input", str(jsonl), "--output", str(est),
+        ]) == 0
+
+    def test_collect_scalar_method(self, tmp_path, values_file):
+        feed = tmp_path / "feed"
+        out = tmp_path / "mean.csv"
+        main([
+            "pack", "--method", "pm", "--epsilon", "1.0", "--round-id", "r",
+            "--input", str(values_file), "--output", str(feed), "--seed", "2",
+        ])
+        assert main([
+            "collect", "--method", "pm", "--epsilon", "1.0", "--round-id", "r",
+            "--input", str(feed), "--output", str(out),
+        ]) == 0
+        mean = float(out.read_text().splitlines()[1].split(",")[1])
+        assert 0.6 < mean < 0.8
+
+    def test_collect_wrong_round_fails_cleanly(self, tmp_path, values_file, capsys):
+        feed = tmp_path / "feed"
+        main([
+            "pack", "--epsilon", "1.0", "--round-id", "a",
+            "--input", str(values_file), "--output", str(feed),
+        ])
+        assert main([
+            "collect", "--epsilon", "1.0", "--round-id", "b",
+            "--input", str(feed), "--output", str(tmp_path / "h.csv"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_collect_codec_mismatch_fails_cleanly(self, tmp_path, values_file, capsys):
+        feed = tmp_path / "feed"
+        main([
+            "pack", "--method", "olh", "--epsilon", "1.0", "--d", "32",
+            "--round-id", "r", "--input", str(values_file), "--output", str(feed),
+        ])
+        assert main([
+            "collect", "--method", "sw-ems", "--epsilon", "1.0", "--d", "32",
+            "--round-id", "r", "--input", str(feed),
+            "--output", str(tmp_path / "h.csv"),
+        ]) == 2
+        assert "payloads" in capsys.readouterr().err
+
+    def test_pack_marginals_rejected(self, tmp_path, values_file, capsys):
+        assert main([
+            "pack", "--method", "sw-multi", "--epsilon", "1.0",
+            "--round-id", "r", "--input", str(values_file),
+            "--output", str(tmp_path / "f"),
+        ]) == 2
+        assert "matrix" in capsys.readouterr().err
+
+    def test_collect_corrupted_feed_fails_cleanly(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            '{"round_id":"r","mech":"category","payload":null,"version":2}\n'
+        )
+        assert main([
+            "collect", "--method", "grr", "--epsilon", "1.0", "--d", "16",
+            "--round-id", "r", "--input", str(feed),
+            "--output", str(tmp_path / "h.csv"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
