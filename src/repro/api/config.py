@@ -110,8 +110,11 @@ class EMConfig:
     ):
         """Run EM/EMS on a report histogram with this configuration.
 
-        ``validated=True`` skips the column-stochastic matrix check — pass
-        it when the matrix comes from the engine cache, which validates
+        ``matrix`` may be a dense ``(d_out, d)`` transition matrix or a
+        :class:`repro.engine.operators.ChannelOperator` (the structured
+        wave channels run each iteration in ``O(d)``).
+        ``validated=True`` skips the column-stochastic channel check — pass
+        it when the channel comes from the engine cache, which validates
         once at insert. ``x0`` warm-starts the solve from a previous
         posterior instead of the uniform prior — the fixed point is the
         same (EM is monotone in the likelihood), but a nearby start
@@ -135,9 +138,10 @@ class EMConfig:
     ):
         """Batched EM/EMS over ``(d_out, B)`` stacked report histograms.
 
-        All ``B`` problems share ``matrix`` and this configuration; the
-        engine solves them as single BLAS matmuls with a per-column
-        convergence mask. ``x0`` (a ``(d,)`` start shared by every column,
+        All ``B`` problems share ``matrix`` — a dense array or a
+        :class:`repro.engine.operators.ChannelOperator` — and this
+        configuration; the engine solves them as whole-batch products with
+        a per-column convergence mask. ``x0`` (a ``(d,)`` start shared by every column,
         or ``(d, B)`` per-column starts) warm-starts the solver; ``None``
         keeps the uniform prior. Returns the
         :class:`~repro.engine.solver.BatchEMResult`.

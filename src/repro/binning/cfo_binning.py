@@ -27,7 +27,12 @@ from repro.api.base import Estimator
 from repro.api.config import EMConfig
 from repro.api.errors import EmptyAggregateError
 from repro.core.em import EMResult
-from repro.engine.cache import cached_matrix
+from repro.engine.cache import (
+    cached_matrix,
+    cached_object,
+    validated_channel_operator,
+)
+from repro.engine.operators import UniformPlusBandedChannel, channel_mode
 from repro.freq_oracle.adaptive import choose_oracle
 from repro.freq_oracle.grr import GRR
 from repro.freq_oracle.olh import OLH
@@ -148,20 +153,56 @@ class CFOBinning(Estimator):
                     "transition_matrix is defined for the GRR channel only; "
                     f"this estimator uses {self.oracle.name}"
                 )
-            key = (
-                "cfo-grr-channel",
-                self.bins,
-                self.d,
-                self.oracle.p,
-                self.oracle.q,
-            )
-            self._matrix = cached_matrix(key, self._build_matrix)
+            self._matrix = cached_matrix(self._channel_key(), self._build_matrix)
         return self._matrix
+
+    def _channel_key(self) -> tuple:
+        """One cache identity for the chunk channel, dense and structured.
+
+        Both :attr:`transition_matrix` and :attr:`channel` key off this
+        tuple (the operator entry tagged apart), so the two paths can
+        never silently serve differently-parameterized channels.
+        """
+        return ("cfo-grr-channel", self.bins, self.d, self.oracle.p, self.oracle.q)
 
     def _build_matrix(self) -> np.ndarray:
         noise = np.full((self.bins, self.bins), self.oracle.q)
         np.fill_diagonal(noise, self.oracle.p)
         return np.repeat(noise, self.d // self.bins, axis=1)
+
+    @property
+    def channel(self):
+        """What EM runs against: the chunk channel as a structured operator.
+
+        Row ``c`` of the channel is ``p`` on chunk ``c``'s ``d / bins``
+        fine buckets and ``q`` elsewhere — a uniform-plus-band structure,
+        so both EM products run as cumulative-sum boxcars
+        (:class:`~repro.engine.operators.UniformPlusBandedChannel`). The
+        column-stochastic invariant is checked once at cache insert, like
+        every engine-cached channel.
+        ``repro.engine.set_channel_mode("dense")`` restores the dense
+        matrix path.
+        """
+        if channel_mode() == "dense":
+            return self.transition_matrix
+        if not isinstance(self.oracle, GRR):
+            raise RuntimeError(
+                "the chunk channel is defined for the GRR oracle only; "
+                f"this estimator uses {self.oracle.name}"
+            )
+        per = self.d // self.bins
+        return cached_object(
+            ("operator", *self._channel_key()),
+            lambda: validated_channel_operator(
+                UniformPlusBandedChannel(
+                    self.d,
+                    np.arange(self.bins, dtype=np.int64) * per,
+                    (np.arange(self.bins, dtype=np.int64) + 1) * per,
+                    inside=self.oracle.p,
+                    outside=self.oracle.q,
+                )
+            ),
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None):
@@ -193,7 +234,7 @@ class CFOBinning(Estimator):
             raise EmptyAggregateError("no reports ingested yet")
         if self.em is not None:
             self.result_ = self.em.run(
-                self.transition_matrix, self._chunk_acc, self.epsilon,
+                self.channel, self._chunk_acc, self.epsilon,
                 validated=True, x0=x0,
             )
             return self.result_.estimate

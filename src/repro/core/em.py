@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.api.config import DEFAULT_MAX_ITER
 from repro.core.smoothing import binomial_kernel
+from repro.engine.operators import ChannelOperator
 from repro.engine.solver import EMResult, batched_expectation_maximization
 
 __all__ = [
@@ -57,7 +58,8 @@ def expectation_maximization(
     Parameters
     ----------
     matrix:
-        ``(d_out, d)`` transition matrix; columns must sum to 1.
+        ``(d_out, d)`` transition matrix (columns must sum to 1) or a
+        :class:`repro.engine.operators.ChannelOperator`.
     counts:
         Length-``d_out`` histogram of observed reports (non-negative).
     tol:
@@ -75,11 +77,15 @@ def expectation_maximization(
     -------
     EMResult
     """
-    m = np.asarray(matrix, dtype=np.float64)
+    if isinstance(matrix, ChannelOperator):
+        m = matrix
+        d_out = m.shape[0]
+    else:
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
+        d_out = m.shape[0]
     n = np.asarray(counts, dtype=np.float64)
-    if m.ndim != 2:
-        raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
-    d_out = m.shape[0]
     if n.shape != (d_out,):
         raise ValueError(f"counts must have shape ({d_out},), got {n.shape}")
     if x0 is not None:

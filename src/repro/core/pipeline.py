@@ -35,7 +35,8 @@ from repro.api.config import DEFAULT_MAX_ITER, EMConfig
 from repro.api.errors import EmptyAggregateError
 from repro.core.em import EMResult
 from repro.core.square_wave import DiscreteSquareWave, SquareWave
-from repro.engine.cache import cached_transition_matrix
+from repro.engine.cache import cached_channel_operator, cached_transition_matrix
+from repro.engine.operators import channel_mode
 from repro.utils.validation import check_domain_size
 
 __all__ = ["WaveEstimator", "SWEstimator", "DiscreteSWEstimator", "estimate_distribution"]
@@ -139,6 +140,24 @@ class WaveEstimator(Estimator):
     def _build_matrix(self) -> np.ndarray:
         return cached_transition_matrix(self.mechanism, self.d, self.d_out)
 
+    @property
+    def channel(self):
+        """What EM/EMS runs against: a structured operator, or the matrix.
+
+        With the engine's default ``"structured"`` channel mode this is the
+        mechanism's :class:`~repro.engine.operators.ChannelOperator`
+        (``O(d)`` per product for the wave channels); after
+        ``repro.engine.set_channel_mode("dense")`` — or inside the
+        :func:`repro.engine.dense_channels` context — it is the cached
+        dense matrix, restoring the historical solver path bit for bit.
+        """
+        if channel_mode() == "dense":
+            return self.transition_matrix
+        return self._build_operator()
+
+    def _build_operator(self):
+        return cached_channel_operator(self.mechanism, self.d, self.d_out)
+
     # -- lifecycle ---------------------------------------------------------
     def privatize(self, values: np.ndarray, rng=None) -> np.ndarray:
         """Client-side: randomize raw values in ``[0, 1]`` into reports."""
@@ -180,7 +199,7 @@ class WaveEstimator(Estimator):
         if self._counts.sum() <= 0:
             raise EmptyAggregateError("no reports ingested yet")
         self.result_ = self.config.run(
-            self.transition_matrix, self._counts, self.epsilon,
+            self.channel, self._counts, self.epsilon,
             validated=True, x0=x0,
         )
         return self.result_.estimate
@@ -336,6 +355,9 @@ class DiscreteSWEstimator(WaveEstimator):
     def _build_matrix(self) -> np.ndarray:
         # The discrete mechanism owns its geometry: cache key on params only.
         return cached_transition_matrix(self.mechanism)
+
+    def _build_operator(self):
+        return cached_channel_operator(self.mechanism)
 
     def _params(self) -> dict:
         return {

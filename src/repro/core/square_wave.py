@@ -111,6 +111,26 @@ class SquareWave:
         d_out = d if d_out is None else check_domain_size(d_out)
         return sw_transition_matrix((self.p, self.q), self.b, d, d_out)
 
+    def channel_operator(self, d: int, d_out: int | None = None):
+        """Structured ``O(d)``-per-product view of :meth:`transition_matrix`.
+
+        The trapezoid overlap kernel is translation-invariant in the
+        continuous coordinate, so the channel runs as uniform + boxcar +
+        narrow ramp windows (:class:`repro.engine.operators.
+        UniformPlusToeplitzChannel`). Returns ``None`` — telling the engine
+        cache to fall back to the dense matrix — when the ramp windows
+        would cover most of the input domain (very coarse output grids),
+        where the structured form has no advantage.
+        """
+        from repro.engine.operators import UniformPlusToeplitzChannel
+
+        d = check_domain_size(d)
+        d_out = d if d_out is None else check_domain_size(d_out)
+        operator = UniformPlusToeplitzChannel(self.p, self.q, self.b, d, d_out)
+        if 4 * operator.window_width >= max(d, 1):
+            return None
+        return operator
+
     def _params(self) -> dict:
         """Constructor kwargs for serialization (``repro.api`` state files)."""
         return {"epsilon": self.epsilon, "b": self.b}
@@ -180,6 +200,24 @@ class DiscreteSquareWave:
     def transition_matrix(self) -> np.ndarray:
         """Exact ``(d + 2b, d)`` transition matrix (columns sum to 1)."""
         return discrete_sw_transition_matrix(self.p, self.q, self.b, self.d)
+
+    def channel_operator(self):
+        """Structured view of :meth:`transition_matrix`: uniform + 0/1 band.
+
+        Output row ``j`` carries ``p`` on input positions ``j - 2b .. j``
+        (clipped to the domain) and ``q`` elsewhere, so both EM products
+        run as cumulative-sum boxcars
+        (:class:`repro.engine.operators.UniformPlusBandedChannel`) —
+        exact by construction, ``O(d)`` per product regardless of ``b``.
+        """
+        from repro.engine.operators import UniformPlusBandedChannel
+
+        rows = np.arange(self.d_out, dtype=np.int64)
+        lo = np.clip(rows - 2 * self.b, 0, self.d)
+        hi = np.clip(rows + 1, 0, self.d)
+        return UniformPlusBandedChannel(
+            self.d, lo, hi, inside=self.p, outside=self.q
+        )
 
     def _params(self) -> dict:
         """Constructor kwargs for serialization (``repro.api`` state files)."""

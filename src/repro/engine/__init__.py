@@ -1,22 +1,30 @@
 """repro.engine — the shared compute substrate under every estimator.
 
-Two pieces, both pure infrastructure (no estimator logic lives here):
+Three pieces, all pure infrastructure (no estimator logic lives here):
 
 * :mod:`repro.engine.cache` — a process-wide, keyed, immutable cache of
   bucket transition matrices (validated once at insert, served read-only)
-  plus a generic object cache for other expensive pure derivations;
+  plus channel operators and a generic object cache for other expensive
+  pure derivations;
+* :mod:`repro.engine.operators` — structured channel operators: the wave
+  channels are uniform-plus-band, so ``M x`` / ``Mᵀ y`` run as
+  cumsum/window passes in ``O(d · B)`` instead of dense ``O(d_out · d · B)``
+  matmuls (:class:`DenseChannel` is the exact fallback);
 * :mod:`repro.engine.solver` — the batched EM/EMS solver (paper §5.5):
-  ``B`` independent reconstruction problems sharing one matrix run as
-  single BLAS matmuls with a per-column convergence mask.
+  ``B`` independent reconstruction problems sharing one channel run as
+  whole-batch products with a per-column convergence mask.
 
 Every EM-backed estimator (``repro.core.pipeline``, the EM mode of
 ``repro.binning``, ``repro.multidim``, the streaming ``repro.protocol``
 server) and the experiment sweep runner route through this package; the
 single-problem API in :mod:`repro.core.em` is a thin compatibility wrapper.
+Force the historical dense path with :func:`set_channel_mode` /
+:func:`dense_channels`.
 """
 
 from repro.engine.cache import (
     MatrixCacheInfo,
+    cached_channel_operator,
     cached_matrix,
     cached_object,
     cached_transition_matrix,
@@ -26,6 +34,15 @@ from repro.engine.cache import (
     mechanism_cache_key,
     set_matrix_cache_limit,
 )
+from repro.engine.operators import (
+    ChannelOperator,
+    DenseChannel,
+    UniformPlusBandedChannel,
+    UniformPlusToeplitzChannel,
+    channel_mode,
+    dense_channels,
+    set_channel_mode,
+)
 from repro.engine.solver import (
     BatchEMResult,
     EMResult,
@@ -34,6 +51,7 @@ from repro.engine.solver import (
 
 __all__ = [
     "MatrixCacheInfo",
+    "cached_channel_operator",
     "cached_matrix",
     "cached_object",
     "cached_transition_matrix",
@@ -42,6 +60,13 @@ __all__ = [
     "matrix_cache_info",
     "mechanism_cache_key",
     "set_matrix_cache_limit",
+    "ChannelOperator",
+    "DenseChannel",
+    "UniformPlusBandedChannel",
+    "UniformPlusToeplitzChannel",
+    "channel_mode",
+    "dense_channels",
+    "set_channel_mode",
     "EMResult",
     "BatchEMResult",
     "batched_expectation_maximization",

@@ -37,6 +37,7 @@ import numpy as np
 
 __all__ = [
     "MatrixCacheInfo",
+    "cached_channel_operator",
     "cached_matrix",
     "cached_object",
     "cached_transition_matrix",
@@ -45,6 +46,7 @@ __all__ = [
     "matrix_cache_info",
     "mechanism_cache_key",
     "set_matrix_cache_limit",
+    "validated_channel_operator",
 ]
 
 #: Default byte budget for cached matrices. 1 GiB holds ~128 distinct
@@ -172,6 +174,61 @@ def cached_transition_matrix(
     if d is None:
         return cached_matrix(key, mechanism.transition_matrix)
     return cached_matrix(key, lambda: mechanism.transition_matrix(d, d_out))
+
+
+#: Sentinel memoized for mechanisms whose geometry yields no structured
+#: operator. The DenseChannel itself is *not* memoized: it would pin the
+#: dense array in the unbounded object cache, escaping the matrix cache's
+#: LRU byte budget — the wrapper is free to rebuild around the shared array.
+_DENSE_FALLBACK = object()
+
+
+def validated_channel_operator(operator: Any) -> Any:
+    """Insert-time check for a structured operator: columns must sum to 1.
+
+    ``column_sums`` is an O(d) product, so this is the operator analogue of
+    the matrix cache's column-stochastic check — done once at insert so hot
+    solver runs can pass ``validated=True``.
+    """
+    if not np.allclose(operator.column_sums(), 1.0, atol=1e-6):
+        raise ValueError("operator columns must sum to 1")
+    return operator
+
+
+def cached_channel_operator(
+    mechanism: Any, d: int | None = None, d_out: int | None = None
+) -> Any:
+    """Shared, validated channel operator for a mechanism.
+
+    Asks the mechanism's ``channel_operator`` hook for a structured
+    :class:`~repro.engine.operators.ChannelOperator` (the hook may return
+    ``None`` when its geometry has no exploitable structure) and falls back
+    to a :class:`~repro.engine.operators.DenseChannel` around the cached
+    dense matrix. Structured operators are memoized under the same
+    mechanism identity keys as matrices — an ``"operator"`` tag apart —
+    and their column-stochastic invariant is checked once at insert (via
+    ``column_sums``, an O(d) product), so solver runs can skip it. Dense
+    fallbacks memoize only the *decision*: the array stays governed by the
+    matrix cache's LRU budget and remains retrievable through
+    :func:`cached_transition_matrix` either way.
+    """
+    key = ("operator", mechanism_cache_key(mechanism), d, d_out)
+
+    def build() -> Any:
+        hook = getattr(mechanism, "channel_operator", None)
+        operator = None
+        if hook is not None:
+            operator = hook() if d is None else hook(d, d_out)
+        if operator is None:
+            return _DENSE_FALLBACK
+        return validated_channel_operator(operator)
+
+    cached = cached_object(key, build)
+    if cached is _DENSE_FALLBACK:
+        from repro.engine.operators import DenseChannel
+
+        return DenseChannel(cached_transition_matrix(mechanism, d, d_out))
+    return cached
 
 
 def cached_object(key: tuple, builder: Callable[[], Any]) -> Any:

@@ -1,15 +1,23 @@
 """Batched EM/EMS reconstruction (paper Section 5.5, vectorized over problems).
 
-EM against a fixed channel matrix is the hot path of every estimator family
-in this package: per-attribute marginals, streaming server rounds, and
-every sweep repetition solve ``argmax_x sum_j n_j log (M x)_j`` for a fresh
-count vector ``n`` against the *same* ``M``. This module stacks ``B`` such
+EM against a fixed channel is the hot path of every estimator family in
+this package: per-attribute marginals, streaming server rounds, and every
+sweep repetition solve ``argmax_x sum_j n_j log (M x)_j`` for a fresh count
+vector ``n`` against the *same* channel. This module stacks ``B`` such
 problems into an ``(d_out, B)`` count matrix and runs the E/M/S steps as
-single BLAS matmuls:
+single whole-batch products:
 
     E-step:  W = Mᵀ (N ⊘ (M X))
     M-step:  X = normalize(X ⊙ W)          (column-wise)
     S-step:  X = normalize(smooth(X))      (EMS only; binomial kernel)
+
+The channel may be a dense ``(d_out, d)`` matrix — the products are BLAS
+matmuls, and this path is bitwise-identical to the historical solver — or a
+:class:`repro.engine.operators.ChannelOperator`, whose structured
+``matvec``/``rmatvec`` turn each iteration into ``O(d · B)`` cumsum/window
+work for the wave channels. On the structured path the ``M X`` product
+computed for the log-likelihood is reused as the next iteration's E-step
+densities, so each iteration costs one ``matvec`` + one ``rmatvec``.
 
 Columns converge independently: a per-column mask freezes finished problems
 (their iteration counts and log-likelihood histories match a sequential run
@@ -30,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.config import DEFAULT_MAX_ITER
+from repro.engine.operators import ChannelOperator
 
 __all__ = [
     "EMResult",
@@ -39,6 +48,11 @@ __all__ = [
 
 #: Floor applied to predicted report probabilities before dividing/logging.
 _DENSITY_FLOOR = 1e-300
+
+#: Initial row capacity of the log-likelihood history buffer; doubled on
+#: demand so a ``max_iter`` of 10k with a wide batch does not preallocate
+#: a huge mostly-unused array.
+_HISTORY_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -109,9 +123,22 @@ class BatchEMResult:
         return (self.column(j) for j in range(self.batch_size))
 
 
-def _log_likelihood_columns(counts: np.ndarray, predicted: np.ndarray) -> np.ndarray:
-    """Per-column ``sum_j n_j log p_j`` (zero-count terms contribute 0)."""
-    return np.where(counts > 0.0, counts * np.log(predicted), 0.0).sum(axis=0)
+def _log_likelihood_columns(
+    counts: np.ndarray, predicted: np.ndarray, positive: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-column ``sum_j n_j log p_j`` (zero-count terms contribute 0).
+
+    ``positive`` is the precomputed ``counts > 0`` mask; the log is
+    evaluated only on those cells (zero-count cells never touch
+    ``predicted``, so nothing rides on the ``1e-300`` floor there), while
+    the summation still runs over the full column in the historical order —
+    the result is bitwise-identical to the old mask-after-log version.
+    """
+    if positive is None:
+        positive = counts > 0.0
+    log_predicted = np.zeros_like(predicted)
+    np.log(predicted, out=log_predicted, where=positive)
+    return (counts * log_predicted).sum(axis=0)
 
 
 def _smooth_columns(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
@@ -141,7 +168,7 @@ def _smooth_columns(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
 
 
 def batched_expectation_maximization(
-    matrix: np.ndarray,
+    matrix: np.ndarray | ChannelOperator,
     counts: np.ndarray,
     *,
     tol: float = 1e-3,
@@ -150,12 +177,16 @@ def batched_expectation_maximization(
     x0: np.ndarray | None = None,
     validate_matrix: bool = True,
 ) -> BatchEMResult:
-    """Reconstruct ``B`` input histograms sharing one transition matrix.
+    """Reconstruct ``B`` input histograms sharing one channel.
 
     Parameters
     ----------
     matrix:
-        ``(d_out, d)`` transition matrix; columns must sum to 1.
+        ``(d_out, d)`` transition matrix (columns must sum to 1) or a
+        :class:`~repro.engine.operators.ChannelOperator`. Dense matrices
+        take the historical BLAS path (bitwise-unchanged output);
+        structured operators run each iteration in ``O(d · B)`` and reuse
+        the log-likelihood product as the next E-step's densities.
     counts:
         ``(d_out, B)`` stacked report histograms, one problem per column
         (non-negative; every column needs at least one report).
@@ -172,18 +203,26 @@ def batched_expectation_maximization(
         Starting histogram — ``(d,)`` shared by every column or ``(d, B)``
         per-column; defaults to uniform.
     validate_matrix:
-        Skip the column-stochastic check when the matrix comes from the
+        Skip the column-stochastic check when the channel comes from the
         engine cache (already validated at insert).
 
     Returns
     -------
     BatchEMResult
     """
-    m = np.asarray(matrix, dtype=np.float64)
+    if isinstance(matrix, ChannelOperator):
+        operator = matrix
+        m = None
+        structured = operator.structured
+        d_out, d = operator.shape
+    else:
+        operator = None
+        m = np.asarray(matrix, dtype=np.float64)
+        structured = False
+        if m.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
+        d_out, d = m.shape
     n = np.asarray(counts, dtype=np.float64)
-    if m.ndim != 2:
-        raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
-    d_out, d = m.shape
     if n.ndim != 2 or n.shape[0] != d_out:
         raise ValueError(f"counts must have shape ({d_out}, B), got {n.shape}")
     batch = n.shape[1]
@@ -193,8 +232,10 @@ def batched_expectation_maximization(
         raise ValueError("counts must be non-negative")
     if not (n.sum(axis=0) > 0).all():
         raise ValueError("counts must contain at least one report")
-    if validate_matrix and not np.allclose(m.sum(axis=0), 1.0, atol=1e-6):
-        raise ValueError("matrix columns must sum to 1")
+    if validate_matrix:
+        sums = m.sum(axis=0) if operator is None else operator.column_sums()
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise ValueError("matrix columns must sum to 1")
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
     kernel = (
@@ -221,18 +262,32 @@ def batched_expectation_maximization(
             )
         x = x / x.sum(axis=0, keepdims=True)
 
+    def product(v: np.ndarray) -> np.ndarray:
+        return m @ v if operator is None else operator.matvec(v)
+
+    def transpose_product(v: np.ndarray) -> np.ndarray:
+        return m.T @ v if operator is None else operator.rmatvec(v)
+
     active = np.ones(batch, dtype=bool)
     iterations = np.zeros(batch, dtype=np.int64)
     converged = np.zeros(batch, dtype=bool)
-    histories: list[list[float]] = [[] for _ in range(batch)]
-    previous = _log_likelihood_columns(n, np.maximum(m @ x, _DENSITY_FLOOR))
+    positive = n > 0.0  # fixed across iterations: counts never change
+    ll_buffer = np.zeros((min(max_iter, _HISTORY_CHUNK), batch))
+    initial = np.maximum(product(x), _DENSITY_FLOOR)
+    previous = _log_likelihood_columns(n, initial, positive)
+    # Structured channels reuse the log-likelihood product as the next
+    # E-step's predicted densities (columns tracked alongside `active`).
+    carried = initial if structured else None
 
     for iteration in range(1, max_iter + 1):
         idx = np.flatnonzero(active)
         xa = x[:, idx]
         na = n[:, idx]
-        predicted = np.maximum(m @ xa, _DENSITY_FLOOR)
-        weights = m.T @ (na / predicted)
+        if carried is not None:
+            predicted = carried
+        else:
+            predicted = np.maximum(product(xa), _DENSITY_FLOOR)
+        weights = transpose_product(na / predicted)
         xa = xa * weights
         totals = xa.sum(axis=0)
         dead = totals <= 0  # defensive; cannot occur with a valid matrix
@@ -243,25 +298,31 @@ def batched_expectation_maximization(
         if kernel is not None:
             xa = _smooth_columns(xa, kernel)
             xa = xa / xa.sum(axis=0, keepdims=True)
-        current = _log_likelihood_columns(na, np.maximum(m @ xa, _DENSITY_FLOOR))
+        refreshed = np.maximum(product(xa), _DENSITY_FLOOR)
+        current = _log_likelihood_columns(na, refreshed, positive[:, idx])
         x[:, idx] = xa
         iterations[idx] = iteration
-        for j_local, j in enumerate(idx):
-            histories[j].append(float(current[j_local]))
+        if iteration > ll_buffer.shape[0]:
+            grown = np.zeros((min(max_iter, 2 * ll_buffer.shape[0]), batch))
+            grown[: ll_buffer.shape[0]] = ll_buffer
+            ll_buffer = grown
+        ll_buffer[iteration - 1, idx] = current
         finished = current - previous[idx] < tol
         converged[idx[finished]] = True
         active[idx[finished]] = False
         previous[idx] = current
         if not active.any():
             break
+        if structured:
+            carried = refreshed[:, ~finished]
 
-    log_likelihood = np.array(
-        [history[-1] for history in histories], dtype=np.float64
-    )
+    log_likelihood = ll_buffer[iterations - 1, np.arange(batch)].copy()
     return BatchEMResult(
         estimates=x,
         iterations=iterations,
         converged=converged,
         log_likelihood=log_likelihood,
-        histories=tuple(np.asarray(h) for h in histories),
+        histories=tuple(
+            ll_buffer[: iterations[j], j].copy() for j in range(batch)
+        ),
     )

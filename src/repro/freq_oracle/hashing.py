@@ -31,14 +31,30 @@ def sample_hash_params(n: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
 
 
 def evaluate_hash(
-    a: np.ndarray, b: np.ndarray, values: np.ndarray, g: int
+    a: np.ndarray,
+    b: np.ndarray,
+    values: np.ndarray,
+    g: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Evaluate ``h_{a,b}(v) = ((a*v + b) mod P) mod g`` elementwise.
 
     Broadcasting rules apply: pass ``a[:, None]`` and a row of candidate
     values to evaluate every user's hash on the whole domain at once.
+    ``out`` (an int64 array of the broadcast shape) makes every step run
+    in place — the hot aggregation loops reuse one buffer per chunk
+    instead of materializing four temporaries, while client and server
+    keep this single definition of the hash.
     """
     if g < 2:
         raise ValueError(f"g must be >= 2, got {g}")
-    av = np.asarray(a, dtype=np.int64) * np.asarray(values, dtype=np.int64)
-    return ((av + np.asarray(b, dtype=np.int64)) % PRIME) % g
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if out is None:
+        return ((a * values + b) % PRIME) % g
+    np.multiply(a, values, out=out)
+    np.add(out, b, out=out)
+    np.remainder(out, PRIME, out=out)
+    np.remainder(out, g, out=out)
+    return out

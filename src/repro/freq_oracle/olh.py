@@ -21,8 +21,10 @@ from repro.utils.rng import as_generator
 __all__ = ["OLH", "OLHReports"]
 
 #: Users per chunk during aggregation. Keeps the n-by-d support matrix at
-#: ~chunk*d int64 entries (default: 4096 * 2048 = 8M) regardless of n.
-_AGGREGATE_CHUNK = 4096
+#: ~chunk*d int64 entries regardless of n. 1024 keeps the two work buffers
+#: cache-resident and measured fastest in the chunk sweep of
+#: ``benchmarks/bench_perf_solver.py`` (see BENCH_solver.json).
+_AGGREGATE_CHUNK = 1024
 
 
 @dataclass(frozen=True)
@@ -82,17 +84,33 @@ class OLH(FrequencyOracle):
         """``C(v) = |{j : H_j(v) = y_j}|`` for every value ``v``.
 
         Processes users in chunks so memory stays bounded at
-        ``_AGGREGATE_CHUNK * d`` hash evaluations.
+        ``_AGGREGATE_CHUNK * d`` hash evaluations. The hash (the in-place
+        form of :func:`~repro.freq_oracle.hashing.evaluate_hash`) and the
+        support comparison run in two preallocated chunk buffers reused
+        across chunks, instead of materializing four fresh ``(chunk, d)``
+        temporaries per chunk — per-report cost is benchmarked (and
+        ``_AGGREGATE_CHUNK`` tuned) by ``benchmarks/bench_perf_solver.py``.
         """
         counts = np.zeros(self.d, dtype=np.int64)
-        domain = np.arange(self.d, dtype=np.int64)[None, :]
         n = reports.n
-        for start in range(0, n, _AGGREGATE_CHUNK):
-            stop = min(start + _AGGREGATE_CHUNK, n)
+        if n == 0:
+            return counts
+        domain = np.arange(self.d, dtype=np.int64)[None, :]
+        chunk = min(_AGGREGATE_CHUNK, n)
+        work = np.empty((chunk, self.d), dtype=np.int64)
+        match = np.empty((chunk, self.d), dtype=bool)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            rows = stop - start
             hashes = evaluate_hash(
-                reports.a[start:stop, None], reports.b[start:stop, None], domain, self.g
+                reports.a[start:stop, None],
+                reports.b[start:stop, None],
+                domain,
+                self.g,
+                out=work[:rows],
             )
-            counts += (hashes == reports.y[start:stop, None]).sum(axis=0)
+            np.equal(hashes, reports.y[start:stop, None], out=match[:rows])
+            counts += match[:rows].sum(axis=0)
         return counts
 
     def aggregate_batch(self, reports: OLHReports) -> np.ndarray:

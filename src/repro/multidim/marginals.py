@@ -133,12 +133,13 @@ class MultiAttributeSW(Estimator):
     def estimate(self) -> list[np.ndarray]:
         """Reconstruct every attribute's marginal from all ingested reports.
 
-        All attributes share one transition matrix (identical mechanism
-        parameters), so the reconstructions are stacked into one
-        ``(d_out, k)`` count matrix and solved in a single batched EM/EMS
-        call through :mod:`repro.engine` — one set of BLAS matmuls instead
-        of ``k`` sequential solver loops. Per-attribute diagnostics still
-        land on each wrapped estimator's ``result_``.
+        All attributes share one channel (identical mechanism parameters),
+        so the reconstructions are stacked into one ``(d_out, k)`` count
+        matrix and solved in a single batched EM/EMS call through
+        :mod:`repro.engine` — whole-batch products (the structured Square
+        Wave operator by default, BLAS matmuls under the dense channel
+        mode) instead of ``k`` sequential solver loops. Per-attribute
+        diagnostics still land on each wrapped estimator's ``result_``.
 
         Attributes that received no reports get the uniform fallback (and a
         diagnostic ``result_`` of ``None``).
@@ -159,7 +160,7 @@ class MultiAttributeSW(Estimator):
             [self._estimators[a]._counts for a in active], axis=1
         )
         batch = lead.config.run_many(
-            lead.transition_matrix, counts, lead.epsilon, validated=True
+            lead.channel, counts, lead.epsilon, validated=True
         )
         for column, a in enumerate(active):
             result = batch.column(column)

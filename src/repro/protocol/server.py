@@ -15,6 +15,10 @@ entirely when nothing new arrived, and — for the EM-backed families —
 warm-starts the solver from the cached posterior
 (:meth:`repro.api.EMConfig.run` ``x0``), so a small ingest delta costs a
 handful of EM iterations instead of a cold solve from the uniform prior.
+Those iterations themselves run against the structured channel operators
+of :mod:`repro.engine.operators` (the wrapped estimators request them by
+default), so a wave-mechanism round pays ``O(d)`` per iteration rather
+than a dense ``O(d^2)`` matmul.
 
 :class:`PlanServer` serves a whole :class:`~repro.tasks.plan.AnalysisPlan`
 — one ``CollectionServer`` per planned attribute — off a single mixed
