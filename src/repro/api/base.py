@@ -25,7 +25,8 @@ import abc
 import importlib
 from typing import Any, Protocol, runtime_checkable
 
-import numpy as np
+from repro.utils.rng import RngLike
+from repro.utils.typing import ArrayLike, FloatArray
 
 __all__ = [
     "Mechanism",
@@ -52,13 +53,13 @@ class Mechanism(Protocol):
 
     epsilon: float
 
-    def privatize(self, values: np.ndarray, rng=None) -> Any: ...
+    def privatize(self, values: ArrayLike, rng: RngLike = None) -> Any: ...
 
-    def bucketize_reports(self, reports: Any, *args: Any) -> np.ndarray: ...
+    def bucketize_reports(self, reports: Any, *args: Any) -> FloatArray: ...
 
-    def transition_matrix(self, *args: Any) -> np.ndarray: ...
+    def transition_matrix(self, *args: Any) -> FloatArray: ...
 
-    def _params(self) -> dict: ...  # constructor kwargs, for state files
+    def _params(self) -> dict[str, Any]: ...  # constructor kwargs, for state files
 
 
 def _class_path(obj: Any) -> str:
@@ -66,7 +67,7 @@ def _class_path(obj: Any) -> str:
     return f"{cls.__module__}:{cls.__qualname__}"
 
 
-def _import_class(path: str) -> type:
+def _import_class(path: str) -> type[Any]:
     module_name, _, qualname = path.partition(":")
     obj: Any = importlib.import_module(module_name)
     for part in qualname.split("."):
@@ -74,7 +75,7 @@ def _import_class(path: str) -> type:
     return obj
 
 
-def mechanism_spec(mechanism: Any) -> dict:
+def mechanism_spec(mechanism: Any) -> dict[str, Any]:
     """JSON-serializable description of a mechanism (class path + params)."""
     return {
         _MECHANISM_KEY: True,
@@ -87,7 +88,7 @@ def mechanism_spec(mechanism: Any) -> dict:
 _MECHANISM_METHODS = ("privatize", "bucketize_reports", "transition_matrix", "_params")
 
 
-def mechanism_from_spec(spec: dict) -> Any:
+def mechanism_from_spec(spec: dict[str, Any]) -> Any:
     """Rebuild a mechanism from :func:`mechanism_spec` output.
 
     The named class must structurally conform to :class:`Mechanism`;
@@ -143,7 +144,7 @@ class Estimator(abc.ABC):
     # client side
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def privatize(self, values: np.ndarray, rng=None) -> Any:
+    def privatize(self, values: ArrayLike, rng: RngLike = None) -> Any:
         """Randomize raw private values into LDP reports (client side)."""
 
     # ------------------------------------------------------------------
@@ -164,7 +165,7 @@ class Estimator(abc.ABC):
     def reset(self) -> None:
         """Clear the aggregation state (start a fresh collection round)."""
 
-    def partial_fit(self, values: np.ndarray, rng=None) -> "Estimator":
+    def partial_fit(self, values: ArrayLike, rng: RngLike = None) -> "Estimator":
         """Privatize + ingest one shard of users; returns ``self``."""
         self.ingest(self.privatize(values, rng=rng))
         return self
@@ -178,7 +179,7 @@ class Estimator(abc.ABC):
         self.ingest(reports)
         return self.estimate()
 
-    def fit(self, values: np.ndarray, rng=None) -> Any:
+    def fit(self, values: ArrayLike, rng: RngLike = None) -> Any:
         """Simulate one whole collection round (privatize + aggregate)."""
         return self.aggregate(self.privatize(values, rng=rng))
 
@@ -209,18 +210,18 @@ class Estimator(abc.ABC):
         return self
 
     @abc.abstractmethod
-    def _params(self) -> dict:
+    def _params(self) -> dict[str, Any]:
         """JSON-serializable constructor kwargs that recreate this estimator."""
 
     @abc.abstractmethod
-    def _state(self) -> dict:
+    def _state(self) -> dict[str, Any]:
         """JSON-serializable aggregation state."""
 
     @abc.abstractmethod
-    def _load_state(self, state: dict) -> None:
+    def _load_state(self, state: dict[str, Any]) -> None:
         """Restore aggregation state produced by :meth:`_state`."""
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Serialize identity, parameters, and aggregation state.
 
         The payload is plain JSON-compatible data, so shard-local state can
@@ -235,7 +236,7 @@ class Estimator(abc.ABC):
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "Estimator":
+    def from_state(cls, payload: dict[str, Any]) -> "Estimator":
         """Rebuild an estimator (with state) from :meth:`to_state` output."""
         target = _import_class(payload["class"])
         if not isinstance(target, type) or not issubclass(target, Estimator):
@@ -255,7 +256,7 @@ class Estimator(abc.ABC):
     # ------------------------------------------------------------------
     # display
     # ------------------------------------------------------------------
-    def _repr_fields(self) -> dict:
+    def _repr_fields(self) -> dict[str, Any]:
         """Fields shown by ``repr``; defaults to the constructor params."""
         return self._params()
 

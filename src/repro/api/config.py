@@ -16,8 +16,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+from repro.utils.typing import ArrayLike, FloatArray
+
+if TYPE_CHECKING:
+    from repro.core.em import EMResult
+    from repro.engine.operators import ChannelOperator
+    from repro.engine.solver import BatchEMResult
 
 __all__ = ["DEFAULT_MAX_ITER", "POSTPROCESS_CHOICES", "EMConfig"]
 
@@ -91,7 +99,7 @@ class EMConfig:
             return float(self.tol)
         return self.default_tolerance(self.postprocess, epsilon)
 
-    def kernel(self) -> np.ndarray | None:
+    def kernel(self) -> FloatArray | None:
         """Smoothing kernel for EMS runs; ``None`` for plain EM."""
         if self.postprocess != "ems":
             return None
@@ -101,13 +109,13 @@ class EMConfig:
 
     def run(
         self,
-        matrix: np.ndarray,
-        counts: np.ndarray,
+        matrix: FloatArray | ChannelOperator,
+        counts: ArrayLike,
         epsilon: float,
         *,
         validated: bool = False,
-        x0: np.ndarray | None = None,
-    ):
+        x0: FloatArray | None = None,
+    ) -> EMResult:
         """Run EM/EMS on a report histogram with this configuration.
 
         ``matrix`` may be a dense ``(d_out, d)`` transition matrix or a
@@ -129,13 +137,13 @@ class EMConfig:
 
     def run_many(
         self,
-        matrix: np.ndarray,
-        counts: np.ndarray,
+        matrix: FloatArray | ChannelOperator,
+        counts: ArrayLike,
         epsilon: float,
         *,
         validated: bool = False,
-        x0: np.ndarray | None = None,
-    ):
+        x0: FloatArray | None = None,
+    ) -> BatchEMResult:
         """Batched EM/EMS over ``(d_out, B)`` stacked report histograms.
 
         All ``B`` problems share ``matrix`` — a dense array or a
@@ -158,6 +166,6 @@ class EMConfig:
             validate_matrix=not validated,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form; invert with ``EMConfig(**d)``."""
         return asdict(self)

@@ -90,7 +90,7 @@ class EstimatorSpec:
     streaming: bool = True
     mergeable: bool = True
     codec: str | None = None
-    tags: frozenset = frozenset()
+    tags: frozenset[str] = frozenset()
 
     def supports(self, metric: str) -> bool:
         return metric in self.supported_metrics
@@ -146,7 +146,7 @@ def get_spec(name: str) -> EstimatorSpec:
         ) from None
 
 
-def make_estimator(name: str, epsilon: float, d: int | None = None, **kwargs):
+def make_estimator(name: str, epsilon: float, d: int | None = None, **kwargs: Any) -> Any:
     """Instantiate a registered estimator for one ``(epsilon, d)``.
 
     ``d`` may be omitted for families with a natural default (or none at
@@ -178,7 +178,7 @@ def list_estimators(
     return specs
 
 
-def estimator_from_state(payload: dict):
+def estimator_from_state(payload: dict[str, Any]) -> Any:
     """Rebuild any estimator (with aggregation state) from ``to_state()``."""
     from repro.api.base import Estimator
 
@@ -191,8 +191,8 @@ def estimator_from_state(payload: dict):
 # ----------------------------------------------------------------------
 
 
-def _sw(postprocess: str):
-    def factory(epsilon: float, d: int = 1024, **kwargs):
+def _sw(postprocess: str) -> Callable[..., Any]:
+    def factory(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
         from repro.core.pipeline import SWEstimator
 
         return SWEstimator(epsilon, d, postprocess=postprocess, **kwargs)
@@ -200,8 +200,8 @@ def _sw(postprocess: str):
     return factory
 
 
-def _sw_discrete(postprocess: str):
-    def factory(epsilon: float, d: int = 1024, **kwargs):
+def _sw_discrete(postprocess: str) -> Callable[..., Any]:
+    def factory(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
         from repro.core.pipeline import DiscreteSWEstimator
 
         return DiscreteSWEstimator(epsilon, d, postprocess=postprocess, **kwargs)
@@ -209,8 +209,8 @@ def _sw_discrete(postprocess: str):
     return factory
 
 
-def _cfo(bins: int | None):
-    def factory(epsilon: float, d: int = 1024, **kwargs):
+def _cfo(bins: int | None) -> Callable[..., Any]:
+    def factory(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
         from repro.binning.cfo_binning import CFOBinning
 
         if bins is not None:
@@ -220,28 +220,28 @@ def _cfo(bins: int | None):
     return factory
 
 
-def _hh(epsilon: float, d: int = 1024, **kwargs):
+def _hh(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
     from repro.hierarchy.hh import HierarchicalHistogram
 
     kwargs.setdefault("branching", 4)
     return HierarchicalHistogram(epsilon, d, **kwargs)
 
 
-def _hh_admm(epsilon: float, d: int = 1024, **kwargs):
+def _hh_admm(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
     from repro.hierarchy.admm import HHADMM
 
     kwargs.setdefault("branching", 4)
     return HHADMM(epsilon, d, **kwargs)
 
 
-def _haar_hrr(epsilon: float, d: int = 1024, **kwargs):
+def _haar_hrr(epsilon: float, d: int = 1024, **kwargs: Any) -> Any:
     from repro.hierarchy.haar import HaarHRR
 
     return HaarHRR(epsilon, d, **kwargs)
 
 
-def _scalar(mechanism: str):
-    def factory(epsilon: float, d: int | None = None, **kwargs):
+def _scalar(mechanism: str) -> Callable[..., Any]:
+    def factory(epsilon: float, d: int | None = None, **kwargs: Any) -> Any:
         from repro.mean.scalar import ScalarMeanEstimator
 
         return ScalarMeanEstimator(epsilon, mechanism=mechanism, d=d, **kwargs)
@@ -249,14 +249,14 @@ def _scalar(mechanism: str):
     return factory
 
 
-def _sw_multi(epsilon: float, d: int = 256, *, n_attributes: int = 2, **kwargs):
+def _sw_multi(epsilon: float, d: int = 256, *, n_attributes: int = 2, **kwargs: Any) -> Any:
     from repro.multidim.marginals import MultiAttributeSW
 
     return MultiAttributeSW(epsilon, n_attributes, d, **kwargs)
 
 
-def _oracle(name: str):
-    def factory(epsilon: float, d: int, **kwargs):
+def _oracle(name: str) -> Callable[..., Any]:
+    def factory(epsilon: float, d: int, **kwargs: Any) -> Any:
         from repro.freq_oracle.grr import GRR
         from repro.freq_oracle.hrr import HRR
         from repro.freq_oracle.olh import OLH

@@ -72,6 +72,11 @@ class GeneralWave:
         #: Plateau half-width and leg length of the bump.
         self.plateau = self.ratio * self.b
         self.leg = self.b - self.plateau
+        #: Exact square special case (no legs). Tested against the computed
+        #: ``leg`` rather than ``ratio``: for ratio within half an ulp of 1
+        #: the subtraction rounds to exactly 0.0, and every ``/ self.leg``
+        #: below must take the square branch precisely when that happens.
+        self.is_square = self.leg == 0.0  # reprolint: disable=NUM001 -- exact-zero sentinel guarding the / self.leg divisions
 
     @property
     def name(self) -> str:
@@ -96,7 +101,7 @@ class GeneralWave:
     def bump_density(self, z: np.ndarray) -> np.ndarray:
         """Wave density minus baseline, as a function of offset ``z``."""
         z = np.abs(np.asarray(z, dtype=np.float64))
-        if self.leg == 0.0:
+        if self.is_square:
             return np.where(z <= self.b, self.bump_height, 0.0)
         on_plateau = z <= self.plateau
         on_leg = (z > self.plateau) & (z <= self.b)
@@ -107,7 +112,7 @@ class GeneralWave:
         """CDF of the bump from ``-b``; reaches :attr:`bump_mass` at ``+b``."""
         z = np.asarray(z, dtype=np.float64)
         height = self.bump_height
-        if self.leg == 0.0:
+        if self.is_square:
             return height * np.clip(z + self.b, 0.0, 2.0 * self.b)
         leg_mass = height * self.leg / 2.0
         # Left leg: quadratic ramp-up on [-b, -plateau].
@@ -136,7 +141,7 @@ class GeneralWave:
         """Draw offsets ``Z`` from the normalized bump shape."""
         if count == 0:
             return np.empty(0)
-        if self.leg == 0.0:
+        if self.is_square:
             return gen.uniform(-self.b, self.b, size=count)
         plateau_fraction = 2.0 * self.ratio / (1.0 + self.ratio)
         u = gen.random(count)
@@ -191,7 +196,7 @@ class GeneralWave:
         """
         d = check_domain_size(d)
         d_out = d if d_out is None else check_domain_size(d_out)
-        if self.ratio == 1.0:
+        if self.is_square:
             from repro.core.transform import sw_transition_matrix
 
             return sw_transition_matrix((self.peak, self.q), self.b, d, d_out)

@@ -1,0 +1,118 @@
+"""Grandfathered findings, checked in and reviewed like code.
+
+The baseline exists so a new rule can land without blocking on fixing (or
+litigating) every historical violation at once — but every entry must carry
+a human-written ``reason``, and the meta-test in ``tests/devtools`` keeps
+the shipped baseline at (or near) empty. Entries match findings by
+``(rule, path, stripped line text)``, so they survive unrelated edits that
+shift line numbers but die with the line they excuse.
+
+File format (JSON, stable key order for reviewable diffs)::
+
+    {
+      "entries": [
+        {"rule": "NUM001", "path": "src/repro/foo.py",
+         "line_text": "if self.leg == 0.0:",
+         "reason": "leg is exactly 0.0 by construction for squares"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+#: Default baseline filename, resolved against the linted project root.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    line_text: str
+    reason: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings plus bookkeeping for staleness."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        raw_entries = payload.get("entries", []) if isinstance(payload, dict) else []
+        entries = [
+            BaselineEntry(
+                rule=str(entry.get("rule", "")),
+                path=str(entry.get("path", "")),
+                line_text=str(entry.get("line_text", "")),
+                reason=str(entry.get("reason", "")),
+            )
+            for entry in raw_entries
+            if isinstance(entry, dict)
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line_text": entry.line_text,
+                    "reason": entry.reason or "TODO: justify or fix",
+                }
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ]
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition findings into ``(new, grandfathered)`` + stale entries.
+
+        Stale entries — baseline lines whose finding no longer occurs — are
+        reported so the baseline shrinks monotonically instead of fossilizing.
+        """
+        by_key = {entry.key(): entry for entry in self.entries}
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        seen: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            entry = by_key.get(finding.fingerprint())
+            if entry is None:
+                new.append(finding)
+            else:
+                grandfathered.append(finding)
+                seen.add(entry.key())
+        stale = [entry for entry in self.entries if entry.key() not in seen]
+        return new, grandfathered, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line_text=finding.line_text,
+                )
+                for finding in findings
+            ]
+        )

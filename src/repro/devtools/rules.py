@@ -1,0 +1,833 @@
+"""The reprolint rule catalogue.
+
+Every rule encodes one invariant the package's correctness or privacy story
+actually rests on:
+
+========  ============================================================
+RNG001    No global-state randomness: ``np.random.<fn>`` module calls,
+          stdlib ``random.<fn>``, and unseeded ``default_rng()`` outside
+          ``utils/rng.py``. Bit-reproducible ``n_jobs`` sweeps depend on
+          every draw flowing through ``repro.utils.rng.as_generator``.
+PRIV001   Privacy taint: raw user-value parameters must pass through a
+          ``privatize``/``encode_report`` call before reaching a
+          ``repro.protocol`` encode path. This is the eps-LDP boundary.
+PRIV002   Every public constructor accepting ``epsilon``/``eps`` must
+          validate positivity (``check_epsilon``) or delegate the value
+          onward; silently stashing an unvalidated budget is how eps<=0
+          reaches the channel math.
+NUM001    Float ``==``/``!=`` against float literals, unguarded
+          ``np.log``-family calls, and division by count-like names
+          without a positivity guard in scope.
+NUM002    No dense-channel materialization (``transition_matrix``,
+          ``.to_dense()``) inside the ``repro.engine`` solver/operator
+          hot paths — the operator protocol exists precisely so these
+          stay ``O(d * B)``.
+REG001    Every concrete ``Estimator`` subclass must be referenced by a
+          ``register_estimator`` factory and expose ``name``, ``kind``,
+          ``wire_codec``, and ``n_reports`` (declared on itself or an
+          ancestor below the ``Estimator`` root).
+========  ============================================================
+
+Rules that only make sense for production code (PRIV001, PRIV002, NUM001,
+NUM002, REG001) skip test files; RNG001 applies everywhere — a test that
+draws from global RNG state poisons reproducibility just as surely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Sequence
+
+from repro.devtools.analyzer import AnalyzedModule
+from repro.devtools.findings import Finding
+
+__all__ = ["RULES", "rule_catalog"]
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _last_name(node: ast.expr) -> str | None:
+    """Trailing identifier of a call target: ``a.b.c(...)`` -> ``"c"``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``self._n`` -> ``"self._n"``; ``x`` -> ``"x"``; else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _expr_names(node: ast.AST) -> set[str]:
+    """Every dotted name appearing anywhere inside ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            dotted = _dotted(sub)
+            if dotted is not None:
+                out.add(dotted)
+    return out
+
+
+def _functions(tree: ast.AST) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    params = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    return params
+
+
+class _ImportMap:
+    """Where ``numpy``, ``numpy.random``, and stdlib ``random`` are bound."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.numpy: set[str] = set()
+        self.np_random: set[str] = set()
+        self.np_random_names: dict[str, str] = {}
+        self.stdlib_random: set[str] = set()
+        self.stdlib_random_names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    if alias.name == "numpy":
+                        self.numpy.add(local)
+                    elif alias.name == "numpy.random":
+                        if alias.asname is not None:
+                            self.np_random.add(alias.asname)
+                        else:
+                            self.numpy.add("numpy")
+                    elif alias.name == "random":
+                        self.stdlib_random.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.np_random_names[alias.asname or alias.name] = alias.name
+                elif node.module == "random":
+                    for alias in node.names:
+                        self.stdlib_random_names[alias.asname or alias.name] = alias.name
+
+    def resolve_random_call(self, func: ast.expr) -> tuple[str, str] | None:
+        """Classify a call target as ``("numpy"|"stdlib", fn_name)``."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.numpy
+            ):
+                return ("numpy", func.attr)
+            if isinstance(value, ast.Name):
+                if value.id in self.np_random:
+                    return ("numpy", func.attr)
+                if value.id in self.stdlib_random:
+                    return ("stdlib", func.attr)
+        elif isinstance(func, ast.Name):
+            if func.id in self.np_random_names:
+                return ("numpy", self.np_random_names[func.id])
+            if func.id in self.stdlib_random_names:
+                return ("stdlib", self.stdlib_random_names[func.id])
+        return None
+
+
+# ----------------------------------------------------------------------
+# RNG001
+# ----------------------------------------------------------------------
+
+#: numpy.random members that do not touch global RNG state.
+_SAFE_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+class RngRule:
+    """RNG001 — all randomness flows through ``repro.utils.rng``."""
+
+    code = "RNG001"
+    summary = (
+        "no global-state randomness: np.random.<fn> module calls, stdlib "
+        "random.<fn>, or unseeded default_rng() outside utils/rng.py"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        imports = _ImportMap(module.tree)
+        is_rng_module = module.rel.endswith("utils/rng.py")
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_random_call(node.func)
+            if resolved is None:
+                continue
+            origin, fn = resolved
+            if origin == "stdlib":
+                findings.append(
+                    module.finding(
+                        node,
+                        self.code,
+                        f"stdlib random.{fn}() draws from hidden global state; "
+                        "use repro.utils.rng.as_generator and a numpy Generator",
+                    )
+                )
+            elif fn == "default_rng":
+                unseeded = not node.args or (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if unseeded and not node.keywords and not is_rng_module:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            "unseeded default_rng() outside utils/rng.py breaks "
+                            "bit-reproducible sweeps; accept an rng argument and "
+                            "route it through repro.utils.rng.as_generator",
+                        )
+                    )
+            elif fn not in _SAFE_NP_RANDOM:
+                findings.append(
+                    module.finding(
+                        node,
+                        self.code,
+                        f"np.random.{fn}() mutates process-global RNG state; "
+                        "draw from a Generator obtained via "
+                        "repro.utils.rng.as_generator instead",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# PRIV001
+# ----------------------------------------------------------------------
+
+#: Parameter names treated as raw (pre-randomization) user data.
+_RAW_PARAMS = frozenset(
+    {"values", "value", "raw", "raw_values", "user_values", "true_values", "private_values"}
+)
+
+#: Calls that put a payload on the wire.
+_ENCODE_SINKS = frozenset(
+    {"encode_batch", "encode_batch_v2", "encode_frame", "encode_frame_blocks"}
+)
+
+#: Calls that launder raw values into eps-LDP reports.
+_SANITIZERS = frozenset({"privatize", "encode_report"})
+
+
+class PrivacyTaintRule:
+    """PRIV001 — raw values are privatized before any protocol encode."""
+
+    code = "PRIV001"
+    summary = (
+        "raw user-value parameters must pass through privatize()/"
+        "encode_report() before reaching a repro.protocol encode path"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test:
+            return []
+        findings: list[Finding] = []
+        for func in _functions(module.tree):
+            findings.extend(self._check_function(module, func))
+        return findings
+
+    def _check_function(
+        self,
+        module: AnalyzedModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        tainted = {name for name in _param_names(func) if name in _RAW_PARAMS}
+        if not tainted:
+            return []
+        findings: list[Finding] = []
+
+        def expr_tainted(node: ast.AST) -> bool:
+            if isinstance(node, ast.Call) and _last_name(node.func) in _SANITIZERS:
+                return False  # sanitized subtree
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+            return any(expr_tainted(child) for child in ast.iter_child_nodes(node))
+
+        def sanitizes(node: ast.AST) -> bool:
+            return any(
+                isinstance(sub, ast.Call) and _last_name(sub.func) in _SANITIZERS
+                for sub in ast.walk(node)
+            )
+
+        def scan_expression(node: ast.AST) -> None:
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if _last_name(sub.func) not in _ENCODE_SINKS:
+                    continue
+                arguments = list(sub.args) + [kw.value for kw in sub.keywords]
+                for argument in arguments:
+                    if expr_tainted(argument):
+                        findings.append(
+                            module.finding(
+                                sub,
+                                self.code,
+                                f"raw values reach {_last_name(sub.func)}() without "
+                                "an intervening privatize()/encode_report() call — "
+                                "this would ship unrandomized user data",
+                            )
+                        )
+                        break
+
+        def apply_assignment(targets: Sequence[ast.expr], value: ast.expr | None) -> None:
+            if value is None:
+                return
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if sanitizes(value):
+                    tainted.discard(target.id)
+                elif expr_tainted(value):
+                    tainted.add(target.id)
+                else:
+                    tainted.discard(target.id)
+
+        def visit(stmts: Sequence[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested scopes check their own parameters
+                if isinstance(stmt, (ast.If, ast.While)):
+                    scan_expression(stmt.test)
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    scan_expression(stmt.iter)
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        scan_expression(item.context_expr)
+                    visit(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body)
+                    for handler in stmt.handlers:
+                        visit(handler.body)
+                    visit(stmt.orelse)
+                    visit(stmt.finalbody)
+                else:
+                    scan_expression(stmt)
+                    if isinstance(stmt, ast.Assign):
+                        apply_assignment(stmt.targets, stmt.value)
+                    elif isinstance(stmt, ast.AnnAssign):
+                        apply_assignment([stmt.target], stmt.value)
+
+        visit(func.body)
+        return findings
+
+
+# ----------------------------------------------------------------------
+# PRIV002
+# ----------------------------------------------------------------------
+
+_EPSILON_PARAMS = frozenset({"epsilon", "eps"})
+_EPSILON_VALIDATORS = frozenset({"check_epsilon", "validate_epsilon"})
+
+
+class EpsilonValidationRule:
+    """PRIV002 — public constructors validate (or delegate) their budget."""
+
+    code = "PRIV002"
+    summary = (
+        "public constructors accepting epsilon/eps must validate positivity "
+        "(check_epsilon) or delegate the value to another constructor"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name == "__init__"
+                    ):
+                        findings.extend(self._check_callable(module, stmt))
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and not node.name.startswith("_")
+                and node.name != "__init__"
+            ):
+                findings.extend(self._check_callable(module, node))
+        return findings
+
+    def _check_callable(
+        self,
+        module: AnalyzedModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        params = [name for name in _param_names(func) if name in _EPSILON_PARAMS]
+        if not params:
+            return []
+        validated: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if _last_name(node.func) in _EPSILON_VALIDATORS:
+                    validated.update(params)
+                    break
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                for argument in arguments:
+                    if isinstance(argument, ast.Name) and argument.id in params:
+                        validated.add(argument.id)  # delegated onward
+            elif isinstance(node, ast.Compare):
+                for side in [node.left, *node.comparators]:
+                    if isinstance(side, ast.Name) and side.id in params:
+                        validated.add(side.id)  # explicit guard
+        missing = [name for name in params if name not in validated]
+        if not missing:
+            return []
+        return [
+            module.finding(
+                func,
+                self.code,
+                f"{func.name}() accepts {missing[0]!r} but neither validates it "
+                "(repro.utils.validation.check_epsilon) nor passes it on; an "
+                "eps<=0 budget would silently reach the channel math",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# NUM001
+# ----------------------------------------------------------------------
+
+_LOG_FUNCTIONS = frozenset({"log", "log2", "log10"})
+_GUARD_CALLS = frozenset({"maximum", "clip", "abs", "exp", "expm1", "fmax"})
+#: Denominators that smell like report/batch counts. ``.size`` is excluded
+#: (dividing by an array's size is the standard vectorized-mean idiom and the
+#: arrays are validated non-empty at the API boundary), as are math-flavored
+#: names like ``denominator`` — those are analytic expressions, not counts.
+_COUNT_NAME = re.compile(r"^(n|counts?|total|n_\w+|_n)$")
+
+
+def _contains_guard_call(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Call) and _last_name(sub.func) in _GUARD_CALLS
+        for sub in ast.walk(node)
+    )
+
+
+class NumericsRule:
+    """NUM001 — float equality and unguarded log/divide on counts."""
+
+    code = "NUM001"
+    summary = (
+        "float ==/!= against float literals; np.log/division on counts "
+        "without a positivity guard in the enclosing function"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test:
+            return []
+        findings: list[Finding] = []
+        enclosing = self._enclosing_function_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(module, node))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_log(module, node, enclosing.get(node)))
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                findings.extend(self._check_divide(module, node, enclosing.get(node)))
+        return findings
+
+    @staticmethod
+    def _enclosing_function_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+        """Map every node to its innermost enclosing function, if any."""
+        out: dict[ast.AST, ast.AST] = {}
+
+        def fill(scope: ast.AST, current: ast.AST | None) -> None:
+            for child in ast.iter_child_nodes(scope):
+                nxt = current
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nxt = child
+                elif current is not None:
+                    out[child] = current
+                fill(child, nxt)
+
+        fill(tree, None)
+        return out
+
+    def _check_compare(self, module: AnalyzedModule, node: ast.Compare) -> list[Finding]:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return []
+        operands = [node.left, *node.comparators]
+        if not any(
+            isinstance(operand, ast.Constant) and isinstance(operand.value, float)
+            for operand in operands
+        ):
+            return []
+        return [
+            module.finding(
+                node,
+                self.code,
+                "exact ==/!= against a float literal; float round-off makes "
+                "this branch unstable — compare with a tolerance "
+                "(math.isclose/np.isclose) or restructure around an exact flag",
+            )
+        ]
+
+    @staticmethod
+    def _has_positivity_evidence(
+        scope: ast.AST | None, names: set[str]
+    ) -> bool:
+        """Whether the enclosing function guards any of ``names``."""
+        if scope is None or not names:
+            return False
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Compare) and names & _expr_names(node):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and _last_name(node.func) in _GUARD_CALLS | {"max", "min"}
+                and names & _expr_names(node)
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and (_last_name(node.func) or "").startswith("check_")
+                and names & _expr_names(node)
+            ):
+                return True
+        return False
+
+    def _check_log(
+        self, module: AnalyzedModule, node: ast.Call, scope: ast.AST | None
+    ) -> list[Finding]:
+        fn = _last_name(node.func)
+        if fn not in _LOG_FUNCTIONS:
+            return []
+        if not isinstance(node.func, ast.Attribute):
+            # Bare log()/log2() names are almost always math.log imports on
+            # scalars already range-checked by the caller; only numpy
+            # attribute calls are array-valued.
+            return []
+        base = node.func.value
+        if not (isinstance(base, ast.Name) and base.id in ("np", "numpy")):
+            return []
+        if any(kw.arg == "where" for kw in node.keywords):
+            return []
+        if not node.args:
+            return []
+        argument = node.args[0]
+        if (
+            isinstance(argument, ast.Constant)
+            and isinstance(argument.value, (int, float))
+            and argument.value > 0
+        ):
+            return []
+        if _contains_guard_call(argument):
+            return []
+        if self._has_positivity_evidence(scope, _expr_names(argument)):
+            return []
+        return [
+            module.finding(
+                node,
+                self.code,
+                f"np.{fn}() without a positivity guard: zero cells produce "
+                "-inf and RuntimeWarnings; mask with where=/out= or floor the "
+                "argument (np.maximum) first",
+            )
+        ]
+
+    def _check_divide(
+        self, module: AnalyzedModule, node: ast.BinOp, scope: ast.AST | None
+    ) -> list[Finding]:
+        denominator = node.right
+        dotted = _dotted(denominator)
+        if dotted is None:
+            return []
+        last = dotted.rsplit(".", 1)[-1]
+        if not _COUNT_NAME.match(last):
+            return []
+        if self._has_positivity_evidence(scope, {dotted, last}):
+            return []
+        return [
+            module.finding(
+                node,
+                self.code,
+                f"division by count-like {dotted!r} without a positivity guard "
+                "in the enclosing function; an empty batch would divide by zero",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# NUM002
+# ----------------------------------------------------------------------
+
+_HOT_MODULES = ("engine/solver.py", "engine/operators.py")
+_DENSE_CALLS = frozenset({"to_dense", "dense", "transition_matrix"})
+
+
+class DenseMaterializationRule:
+    """NUM002 — solver/operator hot paths never materialize dense channels."""
+
+    code = "NUM002"
+    summary = (
+        "no dense-channel materialization (transition_matrix/.to_dense()) "
+        "inside repro.engine solver/operator hot paths"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test or not module.rel.endswith(_HOT_MODULES):
+            return []
+        findings: list[Finding] = []
+        allowed_scopes = self._dense_definition_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = _last_name(node.func)
+            if fn not in _DENSE_CALLS:
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue  # plain-name calls are local helpers, not channels
+            if any(lo <= node.lineno <= hi for lo, hi in allowed_scopes):
+                continue
+            findings.append(
+                module.finding(
+                    node,
+                    self.code,
+                    f".{fn}() materializes an O(d_out * d) dense channel inside "
+                    "an engine hot path; use the ChannelOperator matvec/rmatvec "
+                    "protocol (DenseChannel exists for the fallback seam)",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _dense_definition_spans(tree: ast.AST) -> list[tuple[int, int]]:
+        """Line spans where dense materialization is the *point*.
+
+        ``to_dense`` implementations, ``DenseChannel`` itself, and ``__repr__``
+        diagnostics legitimately touch dense matrices.
+        """
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and (node.name in ("to_dense", "__repr__") or "dense" in node.name)
+            ) or (isinstance(node, ast.ClassDef) and node.name == "DenseChannel"):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+
+# ----------------------------------------------------------------------
+# REG001
+# ----------------------------------------------------------------------
+
+#: Capabilities every concrete estimator family must expose (declared on the
+#: class or inherited from an ancestor below the Estimator root).
+_REQUIRED_ATTRS = ("name", "kind", "wire_codec", "n_reports")
+
+
+class _ClassInfo:
+    __slots__ = ("name", "module", "node", "bases", "abstract", "declared")
+
+    def __init__(self, module: AnalyzedModule, node: ast.ClassDef) -> None:
+        self.name = node.name
+        self.module = module
+        self.node = node
+        self.bases = [
+            base for base in (_last_name(b) for b in node.bases) if base is not None
+        ]
+        self.abstract = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and any(
+                _last_name(dec) == "abstractmethod" or _dotted(dec) == "abc.abstractmethod"
+                for dec in stmt.decorator_list
+            )
+            for stmt in node.body
+        )
+        declared: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                declared.update(
+                    target.id for target in stmt.targets if isinstance(target, ast.Name)
+                )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                declared.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                declared.add(stmt.name)
+        self.declared = declared
+
+
+class RegistryRule:
+    """REG001 — concrete estimator families are registered and capable."""
+
+    code = "REG001"
+    summary = (
+        "every concrete Estimator subclass is referenced by a "
+        "register_estimator factory and exposes name/kind/wire_codec/n_reports"
+    )
+
+    root_class = "Estimator"
+
+    def check_project(self, modules: Sequence[AnalyzedModule]) -> list[Finding]:
+        production = [module for module in modules if not module.is_test]
+        classes: dict[str, _ClassInfo] = {}
+        for module in production:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    # First definition wins; duplicate class names across
+                    # modules are rare enough not to matter for this rule.
+                    classes.setdefault(node.name, _ClassInfo(module, node))
+
+        descendants = self._descendants_of_root(classes)
+        if not descendants:
+            return []
+        parents = {
+            base
+            for info in classes.values()
+            for base in info.bases
+            if base in descendants
+        }
+        registered_refs = self._registered_references(production)
+        if not registered_refs:
+            # No registry module in the analyzed set (e.g. a rule fixture
+            # directory): only the capability half of the rule can apply.
+            registered_refs = None
+
+        findings: list[Finding] = []
+        for name in sorted(descendants):
+            info = classes[name]
+            if info.abstract or name.startswith("_") or name in parents:
+                continue
+            if registered_refs is not None and name not in registered_refs:
+                findings.append(
+                    info.module.finding(
+                        info.node,
+                        self.code,
+                        f"estimator family {name} is not wired into any "
+                        "register_estimator() factory; unregistered families "
+                        "are invisible to the planner, CLI, and servers",
+                    )
+                )
+            missing = [
+                attr
+                for attr in _REQUIRED_ATTRS
+                if not self._declares(classes, name, attr)
+            ]
+            if missing:
+                findings.append(
+                    info.module.finding(
+                        info.node,
+                        self.code,
+                        f"estimator family {name} does not declare or inherit "
+                        f"{', '.join(missing)}; wire_codec and capability "
+                        "attributes are what the protocol servers dispatch on",
+                    )
+                )
+        return findings
+
+    def _descendants_of_root(self, classes: dict[str, _ClassInfo]) -> set[str]:
+        out: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, info in classes.items():
+                if name in out:
+                    continue
+                if any(base == self.root_class or base in out for base in info.bases):
+                    out.add(name)
+                    changed = True
+        return out
+
+    def _declares(
+        self, classes: dict[str, _ClassInfo], name: str, attr: str
+    ) -> bool:
+        """Declared on the class or an ancestor below the Estimator root."""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current == self.root_class:
+                continue
+            seen.add(current)
+            info = classes.get(current)
+            if info is None:
+                continue
+            if attr in info.declared:
+                return True
+            stack.extend(info.bases)
+        return False
+
+    @staticmethod
+    def _registered_references(modules: Sequence[AnalyzedModule]) -> set[str]:
+        """All names referenced inside modules that call register_estimator."""
+        refs: set[str] = set()
+        for module in modules:
+            calls_register = any(
+                isinstance(node, ast.Call)
+                and _last_name(node.func) == "register_estimator"
+                for node in ast.walk(module.tree)
+            )
+            if not calls_register:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Name):
+                    refs.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    refs.add(node.attr)
+        return refs
+
+
+# ----------------------------------------------------------------------
+# catalogue
+# ----------------------------------------------------------------------
+
+RULES: tuple[object, ...] = (
+    RngRule(),
+    PrivacyTaintRule(),
+    EpsilonValidationRule(),
+    NumericsRule(),
+    DenseMaterializationRule(),
+    RegistryRule(),
+)
+
+
+def rule_catalog() -> list[tuple[str, str]]:
+    """``(code, summary)`` pairs for ``--list-rules`` and the docs."""
+    return [(rule.code, rule.summary) for rule in RULES]  # type: ignore[attr-defined]

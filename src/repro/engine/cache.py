@@ -35,6 +35,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.utils.typing import ArrayLike, FloatArray
+
 __all__ = [
     "MatrixCacheInfo",
     "cached_channel_operator",
@@ -55,10 +57,10 @@ __all__ = [
 _DEFAULT_MAX_BYTES = 1 << 30
 
 _lock = threading.Lock()
-_matrices: OrderedDict[tuple, np.ndarray] = OrderedDict()  # LRU order
+_matrices: OrderedDict[tuple[Any, ...], FloatArray] = OrderedDict()  # LRU order
 _matrix_bytes = 0
 _max_bytes = _DEFAULT_MAX_BYTES
-_objects: dict[tuple, Any] = {}
+_objects: dict[tuple[Any, ...], Any] = {}
 _hits = 0
 _misses = 0
 
@@ -73,7 +75,7 @@ class MatrixCacheInfo:
     nbytes: int
 
 
-def freeze_matrix(matrix: np.ndarray) -> np.ndarray:
+def freeze_matrix(matrix: ArrayLike) -> FloatArray:
     """Return a C-contiguous float64 copy with the write flag cleared."""
     arr = np.ascontiguousarray(matrix, dtype=np.float64).copy()
     arr.setflags(write=False)
@@ -85,7 +87,7 @@ def _class_path(obj: Any) -> str:
     return f"{cls.__module__}:{cls.__qualname__}"
 
 
-def mechanism_cache_key(mechanism: Any) -> tuple:
+def mechanism_cache_key(mechanism: Any) -> tuple[Any, ...]:
     """Hashable identity of a mechanism: class path + sorted ``_params()``.
 
     ``_params()`` is the same JSON-serializable constructor description the
@@ -97,11 +99,11 @@ def mechanism_cache_key(mechanism: Any) -> tuple:
 
 
 def cached_matrix(
-    key: tuple,
-    builder: Callable[[], np.ndarray],
+    key: tuple[Any, ...],
+    builder: Callable[[], ArrayLike],
     *,
     column_stochastic: bool = True,
-) -> np.ndarray:
+) -> FloatArray:
     """Fetch (or build, validate, freeze, and insert) a matrix by key.
 
     The returned array is shared and read-only. ``column_stochastic``
@@ -162,7 +164,7 @@ def set_matrix_cache_limit(max_bytes: int) -> None:
 
 def cached_transition_matrix(
     mechanism: Any, d: int | None = None, d_out: int | None = None
-) -> np.ndarray:
+) -> FloatArray:
     """Shared, validated, read-only transition matrix for a mechanism.
 
     ``d``/``d_out`` follow the :class:`repro.api.Mechanism` convention:
@@ -231,7 +233,7 @@ def cached_channel_operator(
     return cached
 
 
-def cached_object(key: tuple, builder: Callable[[], Any]) -> Any:
+def cached_object(key: tuple[Any, ...], builder: Callable[[], Any]) -> Any:
     """Memoize any expensive pure derivation (no matrix validation/freeze)."""
     with _lock:
         if key in _objects:

@@ -46,8 +46,12 @@ from __future__ import annotations
 
 import contextlib
 import threading
+from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
+
+from repro.utils.typing import ArrayLike, FloatArray, IntArray
 
 __all__ = [
     "ChannelOperator",
@@ -87,7 +91,7 @@ def set_channel_mode(mode: str) -> str:
 
 
 @contextlib.contextmanager
-def dense_channels():
+def dense_channels() -> Iterator[None]:
     """Context manager forcing the dense matrix path (benchmarks, debugging)."""
     previous = set_channel_mode("dense")
     try:
@@ -96,7 +100,7 @@ def dense_channels():
         set_channel_mode(previous)
 
 
-def _freeze(arr: np.ndarray, dtype=np.float64) -> np.ndarray:
+def _freeze(arr: ArrayLike, dtype: Any = np.float64) -> Any:
     out = np.ascontiguousarray(arr, dtype=dtype)
     if out is arr:
         out = out.copy()
@@ -116,7 +120,7 @@ class ChannelOperator:
     """
 
     #: Whether the solver may take the structured (product-reusing) loop.
-    structured = True
+    structured: bool = True
 
     shape: tuple[int, int]
 
@@ -128,19 +132,19 @@ class ChannelOperator:
     def d(self) -> int:
         return self.shape[1]
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: ArrayLike) -> FloatArray:
         """``M @ x`` for ``x`` of shape ``(d,)`` or ``(d, B)``."""
         raise NotImplementedError
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+    def rmatvec(self, y: ArrayLike) -> FloatArray:
         """``M.T @ y`` for ``y`` of shape ``(d_out,)`` or ``(d_out, B)``."""
         raise NotImplementedError
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """Materialize the ``(d_out, d)`` matrix this operator represents."""
         raise NotImplementedError
 
-    def column_sums(self) -> np.ndarray:
+    def column_sums(self) -> FloatArray:
         """Per-input-bucket total mass ``Mᵀ 1`` (1 for a proper channel)."""
         return self.rmatvec(np.ones(self.d_out))
 
@@ -156,30 +160,30 @@ class DenseChannel(ChannelOperator):
     the raw array.
     """
 
-    structured = False
+    structured: bool = False
 
-    def __init__(self, matrix: np.ndarray) -> None:
+    def __init__(self, matrix: ArrayLike) -> None:
         m = np.asarray(matrix, dtype=np.float64)
         if m.ndim != 2:
             raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
         self._m = m
-        self.shape = m.shape
+        self.shape = (int(m.shape[0]), int(m.shape[1]))
 
     @property
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> FloatArray:
         return self._m
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        return self._m @ x
+    def matvec(self, x: ArrayLike) -> FloatArray:
+        return self._m @ np.asarray(x, dtype=np.float64)
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
-        return self._m.T @ y
+    def rmatvec(self, y: ArrayLike) -> FloatArray:
+        return self._m.T @ np.asarray(y, dtype=np.float64)
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         return self._m
 
 
-def _padded_cumsum(v: np.ndarray) -> np.ndarray:
+def _padded_cumsum(v: FloatArray) -> FloatArray:
     """``S`` with ``S[k] = v[:k].sum()`` along axis 0 (batch-aware)."""
     shape = (v.shape[0] + 1,) + v.shape[1:]
     out = np.zeros(shape, dtype=np.float64)
@@ -188,8 +192,8 @@ def _padded_cumsum(v: np.ndarray) -> np.ndarray:
 
 
 def _transpose_bands(
-    lo: np.ndarray, hi: np.ndarray, n_cols: int
-) -> tuple[np.ndarray, np.ndarray]:
+    lo: IntArray, hi: IntArray, n_cols: int
+) -> tuple[IntArray, IntArray]:
     """Per-column contiguous row ranges of the band set ``lo_j <= i < hi_j``.
 
     Requires ``lo`` and ``hi`` nondecreasing (true for every sliding band
@@ -218,8 +222,8 @@ class UniformPlusBandedChannel(ChannelOperator):
     def __init__(
         self,
         d: int,
-        lo: np.ndarray,
-        hi: np.ndarray,
+        lo: ArrayLike,
+        hi: ArrayLike,
         *,
         inside: float,
         outside: float,
@@ -245,24 +249,24 @@ class UniformPlusBandedChannel(ChannelOperator):
         self._rlo = _freeze(rlo, np.int64)
         self._rhi = _freeze(rhi, np.int64)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: ArrayLike) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
         s = _padded_cumsum(x)
         total = s[-1]
         return self.outside * total + self._delta * (s[self._hi] - s[self._lo])
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+    def rmatvec(self, y: ArrayLike) -> FloatArray:
         y = np.asarray(y, dtype=np.float64)
         s = _padded_cumsum(y)
         total = s[-1]
         return self.outside * total + self._delta * (s[self._rhi] - s[self._rlo])
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         cols = np.arange(self.d)[None, :]
         in_band = (cols >= self._lo[:, None]) & (cols < self._hi[:, None])
         return np.where(in_band, self.inside, self.outside)
 
-    def column_sums(self) -> np.ndarray:
+    def column_sums(self) -> FloatArray:
         height = (self._rhi - self._rlo).astype(np.float64)
         return self.outside * (self.d_out - height) + self.inside * height
 
@@ -278,7 +282,7 @@ class _CorrectionWindows:
 
     __slots__ = ("starts", "values", "_idx")
 
-    def __init__(self, starts: np.ndarray, values: np.ndarray, limit: int) -> None:
+    def __init__(self, starts: IntArray, values: FloatArray, limit: int) -> None:
         self.starts = _freeze(starts, np.int64)
         self.values = _freeze(values)
         width = values.shape[0]
@@ -286,7 +290,7 @@ class _CorrectionWindows:
         np.clip(idx, 0, max(limit - 1, 0), out=idx)
         self._idx = _freeze(idx, np.int64)
 
-    def apply(self, v: np.ndarray) -> np.ndarray:
+    def apply(self, v: FloatArray) -> FloatArray:
         """``out[k] = sum_r values[r, k] * v[idx[r, k]]`` (batch-aware)."""
         gathered = v[self._idx]  # (width, n) or (width, n, B)
         if gathered.ndim == 3:
@@ -362,7 +366,7 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         self._col_fall = self._col_windows(band_hi, plat_hi)
 
     # -- exact band values -------------------------------------------------
-    def _band_overlap(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def _band_overlap(self, rows: IntArray, cols: IntArray) -> FloatArray:
         """Exact trapezoid overlap ``T[j, i]`` for broadcastable index arrays."""
         from repro.core.transform import trapezoid_antiderivative
 
@@ -374,11 +378,11 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         lower = trapezoid_antiderivative(a1, t1, t3, self._lmax)
         return (upper - lower) / self.in_width
 
-    def _correction(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def _correction(self, rows: IntArray, cols: IntArray) -> FloatArray:
         """Entry minus the boxcar height: ``(p−q)·(T[j,i] − lmax)``."""
         return (self.p - self.q) * (self._band_overlap(rows, cols) - self._lmax)
 
-    def _row_windows(self, start: np.ndarray, stop: np.ndarray) -> _CorrectionWindows:
+    def _row_windows(self, start: IntArray, stop: IntArray) -> _CorrectionWindows:
         d_out, d = self.shape
         widths = stop - start
         k = int(widths.max()) if widths.size else 0
@@ -393,7 +397,9 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         values = np.where(offsets < widths[None, :], values, 0.0)
         return _CorrectionWindows(start, values, d)
 
-    def _col_windows(self, upper_bound: np.ndarray, lower_bound: np.ndarray) -> _CorrectionWindows:
+    def _col_windows(
+        self, upper_bound: IntArray, lower_bound: IntArray
+    ) -> _CorrectionWindows:
         """Column-oriented windows for rows with ``lower_j <= i < upper_j``."""
         d_out, d = self.shape
         cols = np.arange(d, dtype=np.int64)
@@ -417,7 +423,7 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         return max(self._rise.values.shape[0], self._fall.values.shape[0])
 
     # -- products ----------------------------------------------------------
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: ArrayLike) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
         s = _padded_cumsum(x)
         total = s[-1]
@@ -427,7 +433,7 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         out += self._fall.apply(x)
         return out
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+    def rmatvec(self, y: ArrayLike) -> FloatArray:
         y = np.asarray(y, dtype=np.float64)
         s = _padded_cumsum(y)
         total = s[-1]
@@ -437,7 +443,7 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         out += self._col_fall.apply(y)
         return out
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """The represented matrix (matches the §5.5 builder to float rounding)."""
         d_out, d = self.shape
         rows = np.arange(d_out, dtype=np.int64)[:, None]

@@ -33,12 +33,14 @@ share one diagnostics type.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.api.config import DEFAULT_MAX_ITER
 from repro.engine.operators import ChannelOperator
+from repro.utils.typing import ArrayLike, BoolArray, FloatArray, IntArray
 
 __all__ = [
     "EMResult",
@@ -73,11 +75,11 @@ class EMResult:
         Log-likelihood after every iteration (length ``iterations``).
     """
 
-    estimate: np.ndarray
+    estimate: FloatArray
     iterations: int
     converged: bool
     log_likelihood: float
-    history: np.ndarray = field(repr=False)
+    history: FloatArray = field(repr=False)
 
 
 @dataclass(frozen=True)
@@ -99,11 +101,11 @@ class BatchEMResult:
         different iterations).
     """
 
-    estimates: np.ndarray
-    iterations: np.ndarray
-    converged: np.ndarray
-    log_likelihood: np.ndarray
-    histories: tuple[np.ndarray, ...] = field(repr=False)
+    estimates: FloatArray
+    iterations: IntArray
+    converged: BoolArray
+    log_likelihood: FloatArray
+    histories: tuple[FloatArray, ...] = field(repr=False)
 
     @property
     def batch_size(self) -> int:
@@ -119,13 +121,13 @@ class BatchEMResult:
             history=self.histories[j],
         )
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EMResult]:
         return (self.column(j) for j in range(self.batch_size))
 
 
 def _log_likelihood_columns(
-    counts: np.ndarray, predicted: np.ndarray, positive: np.ndarray | None = None
-) -> np.ndarray:
+    counts: FloatArray, predicted: FloatArray, positive: BoolArray | None = None
+) -> FloatArray:
     """Per-column ``sum_j n_j log p_j`` (zero-count terms contribute 0).
 
     ``positive`` is the precomputed ``counts > 0`` mask; the log is
@@ -141,7 +143,7 @@ def _log_likelihood_columns(
     return (counts * log_predicted).sum(axis=0)
 
 
-def _smooth_columns(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+def _smooth_columns(x: FloatArray, kernel: FloatArray) -> FloatArray:
     """Column-wise :func:`repro.core.smoothing.smooth` (edge-renormalized).
 
     Same semantics as the 1-d version: kernel taps that fall outside the
@@ -168,13 +170,13 @@ def _smooth_columns(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
 
 
 def batched_expectation_maximization(
-    matrix: np.ndarray | ChannelOperator,
-    counts: np.ndarray,
+    matrix: FloatArray | ChannelOperator,
+    counts: ArrayLike,
     *,
     tol: float = 1e-3,
     max_iter: int = DEFAULT_MAX_ITER,
-    smoothing_kernel: np.ndarray | None = None,
-    x0: np.ndarray | None = None,
+    smoothing_kernel: ArrayLike | None = None,
+    x0: ArrayLike | None = None,
     validate_matrix: bool = True,
 ) -> BatchEMResult:
     """Reconstruct ``B`` input histograms sharing one channel.
@@ -210,11 +212,20 @@ def batched_expectation_maximization(
     -------
     BatchEMResult
     """
+    operator: ChannelOperator | None
     if isinstance(matrix, ChannelOperator):
         operator = matrix
-        m = None
         structured = operator.structured
         d_out, d = operator.shape
+        op = operator
+
+        def product(v: FloatArray) -> FloatArray:
+            return op.matvec(v)
+
+        def transpose_product(v: FloatArray) -> FloatArray:
+            return op.rmatvec(v)
+
+        column_sums = op.column_sums
     else:
         operator = None
         m = np.asarray(matrix, dtype=np.float64)
@@ -222,6 +233,15 @@ def batched_expectation_maximization(
         if m.ndim != 2:
             raise ValueError(f"matrix must be 2-d, got shape {m.shape}")
         d_out, d = m.shape
+
+        def product(v: FloatArray) -> FloatArray:
+            return m @ v
+
+        def transpose_product(v: FloatArray) -> FloatArray:
+            return m.T @ v
+
+        def column_sums() -> FloatArray:
+            return m.sum(axis=0)
     n = np.asarray(counts, dtype=np.float64)
     if n.ndim != 2 or n.shape[0] != d_out:
         raise ValueError(f"counts must have shape ({d_out}, B), got {n.shape}")
@@ -233,8 +253,7 @@ def batched_expectation_maximization(
     if not (n.sum(axis=0) > 0).all():
         raise ValueError("counts must contain at least one report")
     if validate_matrix:
-        sums = m.sum(axis=0) if operator is None else operator.column_sums()
-        if not np.allclose(sums, 1.0, atol=1e-6):
+        if not np.allclose(column_sums(), 1.0, atol=1e-6):
             raise ValueError("matrix columns must sum to 1")
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
@@ -262,12 +281,6 @@ def batched_expectation_maximization(
             )
         x = x / x.sum(axis=0, keepdims=True)
 
-    def product(v: np.ndarray) -> np.ndarray:
-        return m @ v if operator is None else operator.matvec(v)
-
-    def transpose_product(v: np.ndarray) -> np.ndarray:
-        return m.T @ v if operator is None else operator.rmatvec(v)
-
     active = np.ones(batch, dtype=bool)
     iterations = np.zeros(batch, dtype=np.int64)
     converged = np.zeros(batch, dtype=bool)
@@ -277,7 +290,7 @@ def batched_expectation_maximization(
     previous = _log_likelihood_columns(n, initial, positive)
     # Structured channels reuse the log-likelihood product as the next
     # E-step's predicted densities (columns tracked alongside `active`).
-    carried = initial if structured else None
+    carried: FloatArray | None = initial if structured else None
 
     for iteration in range(1, max_iter + 1):
         idx = np.flatnonzero(active)

@@ -305,7 +305,7 @@ def run_sweep(
             trials = list(pool.map(_run_pool_trial, tasks, chunksize=1))
 
     samples: dict[tuple[str, float, str], list[float]] = {}
-    for task, trial in zip(tasks, trials):
+    for task, trial in zip(tasks, trials, strict=True):
         for metric, value in trial.items():
             samples.setdefault((task.method, task.epsilon, metric), []).append(value)
 

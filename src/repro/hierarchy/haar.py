@@ -33,7 +33,7 @@ from repro.api.errors import EmptyAggregateError
 from repro.freq_oracle.hrr import HRR
 from repro.hierarchy.hh import TreeReports
 from repro.utils.histograms import bucketize
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_epsilon
 
 __all__ = ["HaarHRR"]
@@ -72,7 +72,7 @@ class HaarHRR(Estimator):
         return self._oracles[t]
 
     # -- lifecycle ---------------------------------------------------------
-    def privatize(self, values: np.ndarray, rng=None) -> TreeReports:
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> TreeReports:
         """Client-side: assign users to heights and HRR-randomize details."""
         gen = as_generator(rng)
         leaves = bucketize(values, self.d)

@@ -34,7 +34,7 @@ from repro.freq_oracle.adaptive import choose_oracle
 from repro.hierarchy.constrained import consistency_projection
 from repro.hierarchy.tree import TreeLayout, range_decomposition
 from repro.utils.histograms import bucketize
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_epsilon
 
 __all__ = [
@@ -71,7 +71,7 @@ def collect_tree_estimates(
     tree: TreeLayout,
     epsilon: float,
     leaves: np.ndarray,
-    rng=None,
+    rng: RngLike = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run the population-splitting collection round for a whole tree.
 
@@ -123,7 +123,7 @@ def collect_tree_estimates_budget_split(
     tree: TreeLayout,
     epsilon: float,
     leaves: np.ndarray,
-    rng=None,
+    rng: RngLike = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Budget-splitting alternative: every user reports at *every* level.
 
@@ -213,7 +213,7 @@ class HierarchicalHistogram(Estimator):
         return self._oracles[level]
 
     # -- lifecycle ---------------------------------------------------------
-    def privatize(self, values: np.ndarray, rng=None) -> TreeReports:
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> TreeReports:
         """Client-side: assign users to levels and CFO-randomize ancestors."""
         gen = as_generator(rng)
         leaves = bucketize(values, self.d)

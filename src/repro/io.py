@@ -83,7 +83,7 @@ def read_table(path: str | Path) -> dict[str, np.ndarray]:
                 raise ValueError(
                     f"{path}:{row_no}: expected {len(header)} columns, got {len(row)}"
                 )
-            for column, cell in zip(columns, row):
+            for column, cell in zip(columns, row, strict=True):
                 try:
                     column.append(float(cell))
                 except ValueError:
@@ -94,7 +94,7 @@ def read_table(path: str | Path) -> dict[str, np.ndarray]:
         raise ValueError(f"{path}: no data rows found")
     return {
         name: np.asarray(column, dtype=np.float64)
-        for name, column in zip(header, columns)
+        for name, column in zip(header, columns, strict=True)
     }
 
 

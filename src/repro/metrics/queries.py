@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 
 __all__ = ["range_query", "range_queries", "random_range_queries", "range_query_mae"]
 
@@ -55,7 +55,7 @@ def range_queries(x: np.ndarray, windows) -> np.ndarray:
 
 
 def random_range_queries(
-    alpha: float, n_queries: int, rng=None
+    alpha: float, n_queries: int, rng: RngLike = None
 ) -> np.ndarray:
     """Sample ``n_queries`` left endpoints uniformly from ``[0, 1 - alpha]``."""
     if not 0.0 < alpha <= 1.0:
@@ -71,7 +71,7 @@ def range_query_mae(
     x_hat: np.ndarray,
     alpha: float,
     n_queries: int = 100,
-    rng=None,
+    rng: RngLike = None,
 ) -> float:
     """MAE of random range queries between true and estimated histograms.
 

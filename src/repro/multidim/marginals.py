@@ -25,13 +25,13 @@ import numpy as np
 from repro.api.base import Estimator
 from repro.api.errors import EmptyAggregateError
 from repro.core.pipeline import SWEstimator
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_domain_size, check_epsilon
 
 __all__ = ["MultiAttributeReports", "MultiAttributeSW", "split_population"]
 
 
-def split_population(n: int, k: int, rng=None) -> np.ndarray:
+def split_population(n: int, k: int, rng: RngLike = None) -> np.ndarray:
     """Assign each of ``n`` users one of ``k`` slots uniformly at random.
 
     The standard multi-attribute LDP recipe (Section 4.2 rationale): each
@@ -106,7 +106,7 @@ class MultiAttributeSW(Estimator):
         return arr
 
     # -- lifecycle ---------------------------------------------------------
-    def privatize(self, values: np.ndarray, rng=None) -> MultiAttributeReports:
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> MultiAttributeReports:
         """Assign each user one attribute and randomize that value.
 
         ``values`` is an ``(n, k)`` matrix; only column ``attribute[i]`` of
@@ -179,7 +179,7 @@ class MultiAttributeSW(Estimator):
 
     # -- shard merge + serialization --------------------------------------
     def _merge_state(self, other: "MultiAttributeSW") -> None:
-        for mine, theirs in zip(self._estimators, other._estimators):
+        for mine, theirs in zip(self._estimators, other._estimators, strict=True):
             mine.merge(theirs)
 
     def _params(self) -> dict:
@@ -200,7 +200,7 @@ class MultiAttributeSW(Estimator):
                 f"state must carry {self.n_attributes} attribute shards, "
                 f"got {len(shards)}"
             )
-        for estimator, shard in zip(self._estimators, shards):
+        for estimator, shard in zip(self._estimators, shards, strict=True):
             estimator._load_state(shard)
 
     def _repr_fields(self) -> dict:

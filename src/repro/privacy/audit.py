@@ -18,6 +18,7 @@ and each user reports exactly one attribute).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
@@ -49,8 +50,13 @@ class AuditResult:
 
     @property
     def effective_epsilon(self) -> float:
-        """``log(max_ratio)`` — the privacy level the audit actually observed."""
-        return float(np.log(self.max_ratio))
+        """``log(max_ratio)`` — the privacy level the audit actually observed.
+
+        Uses scalar ``math.log`` so a degenerate audit (``max_ratio <= 0``,
+        e.g. from an all-zero channel) raises loudly instead of silently
+        returning ``-inf``/NaN behind a RuntimeWarning.
+        """
+        return math.log(self.max_ratio)
 
 
 @dataclass(frozen=True)

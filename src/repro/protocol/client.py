@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.core.square_wave import SquareWave
 from repro.protocol.messages import SWReport, encode_batch
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 
 __all__ = ["SWClient"]
 
@@ -36,13 +36,13 @@ class SWClient:
     def epsilon(self) -> float:
         return self.mechanism.epsilon
 
-    def report(self, value: float, rng=None) -> SWReport:
+    def report(self, value: float, rng: RngLike = None) -> SWReport:
         """Randomize one private value into a wire message."""
         gen = as_generator(rng)
         randomized = self.mechanism.privatize(np.array([value]), rng=gen)
         return SWReport(self.round_id, float(randomized[0]))
 
-    def report_batch(self, values: np.ndarray, rng=None) -> str:
+    def report_batch(self, values: np.ndarray, rng: RngLike = None) -> str:
         """Randomize many values (e.g. one per device in a fleet simulator)
         and encode them as JSON lines."""
         randomized = self.mechanism.privatize(values, rng=rng)

@@ -139,7 +139,7 @@ class PayloadCodec(abc.ABC):
         arrays = [cols[col_name].tolist() for col_name, _ in self.columns]
         if len(arrays) == 1:
             return arrays[0]
-        return [list(row) for row in zip(*arrays)]
+        return [list(row) for row in zip(*arrays, strict=True)]
 
     def from_payloads(self, payloads: Sequence) -> Any:
         """Rebuild a report batch from a list of per-report payloads."""

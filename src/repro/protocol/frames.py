@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import json
 import struct
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.protocol.codecs import PayloadCodec, get_codec
 from repro.protocol.messages import (
@@ -66,14 +68,16 @@ _MAX_HEADER_BYTES = 1 << 20
 
 def is_frame(data: bytes) -> bool:
     """Whether a byte string starts like a protocol v2 frame."""
-    return isinstance(data, (bytes, bytearray, memoryview)) and bytes(data[:4]) == FRAME_MAGIC
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        return False
+    return bytes(data[:4]) == FRAME_MAGIC
 
 
 @dataclass(frozen=True)
 class _Block:
     attr: str
     codec: PayloadCodec
-    columns: dict[str, np.ndarray]
+    columns: dict[str, NDArray[Any]]
     n: int
 
 
@@ -136,7 +140,7 @@ def encode_frame(
     return encode_frame_blocks(round_id, [(attr, codec, reports)])
 
 
-def _read_header(data: bytes) -> tuple[dict, int]:
+def _read_header(data: bytes) -> tuple[dict[str, Any], int]:
     buf = bytes(data)
     if len(buf) < 8 or buf[:4] != FRAME_MAGIC:
         raise ValueError("not a protocol v2 frame (bad magic)")
@@ -148,8 +152,9 @@ def _read_header(data: bytes) -> tuple[dict, int]:
     except (UnicodeDecodeError, ValueError) as exc:
         raise ValueError("frame header is not valid JSON") from exc
     if not isinstance(header, dict) or header.get("version") != PROTOCOL_V2:
+        version = header.get("version") if isinstance(header, dict) else header
         raise ValueError(
-            f"unsupported frame version {header.get('version') if isinstance(header, dict) else header!r} "
+            f"unsupported frame version {version!r} "
             f"(this decoder speaks {PROTOCOL_V2})"
         )
     return header, 8 + header_len
@@ -192,14 +197,16 @@ def decode_frame_grouped(
                 f"frame block {attr!r} columns {declared} do not match "
                 f"codec {codec.name!r} layout {list(codec.columns)}"
             )
-        columns: dict[str, np.ndarray] = {}
+        columns: dict[str, NDArray[Any]] = {}
         for name, dtype in codec.columns:
             nbytes = n * np.dtype(dtype).itemsize
             if offset + nbytes > len(buf):
                 raise ValueError(
                     f"frame block {attr!r} column {name!r} is truncated"
                 )
-            columns[name] = np.frombuffer(buf, dtype=np.dtype(dtype), count=n, offset=offset)
+            columns[name] = np.frombuffer(
+                buf, dtype=np.dtype(dtype), count=n, offset=offset
+            )
             offset += nbytes
         groups[attr] = FeedGroup(
             attr=attr, mechanism=codec.name, reports=codec.from_columns(columns), n=n

@@ -56,6 +56,7 @@ from repro.protocol.messages import (
     decode_feed_grouped,
     encode_batch_v2,
 )
+from repro.utils.rng import RngLike
 
 __all__ = ["CollectionServer", "PlanServer", "SWServer"]
 
@@ -167,7 +168,7 @@ class CollectionServer:
         return self._estimator.n_reports
 
     # -- client-side conveniences (simulation) -----------------------------
-    def privatize(self, values: np.ndarray, rng=None) -> Any:
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> Any:
         """Randomize raw values with the round's mechanism (client side)."""
         return self._estimator.privatize(values, rng=rng)
 
@@ -419,7 +420,7 @@ class PlanServer:
         """One attribute's reconstruction (incremental mid-round)."""
         return self.server(attr).estimate()
 
-    def report(self, *, confidence: float | None = None, n_bootstrap: int = 100, rng=None):
+    def report(self, *, confidence: float | None = None, n_bootstrap: int = 100, rng: RngLike = None):
         """Answer every task in the plan from the state aggregated so far.
 
         Reconstructions route through each attribute's incremental server

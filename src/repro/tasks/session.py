@@ -45,7 +45,7 @@ from repro.utils.histograms import (
     histogram_quantile,
     histogram_variance,
 )
-from repro.utils.rng import as_generator
+from repro.utils.rng import RngLike, as_generator
 
 __all__ = ["Session"]
 
@@ -132,7 +132,7 @@ class Session:
             return split_population(n, k, rng)
         return as_generator(rng).choice(k, size=n, p=weights / weights.sum())
 
-    def privatize(self, data: Mapping[str, Any], rng=None) -> dict[str, Any]:
+    def privatize(self, data: Mapping[str, Any], rng: RngLike = None) -> dict[str, Any]:
         """Client side: normalize, split, and randomize one batch of users.
 
         ``data`` maps every plan attribute to one value per user (arrays
@@ -169,7 +169,7 @@ class Session:
         for name, batch in reports.items():
             self._estimators[name].ingest(batch)
 
-    def partial_fit(self, data: Mapping[str, Any], rng=None) -> "Session":
+    def partial_fit(self, data: Mapping[str, Any], rng: RngLike = None) -> "Session":
         """Privatize + ingest one shard of users; returns ``self``."""
         self.ingest(self.privatize(data, rng=rng))
         return self
@@ -181,7 +181,7 @@ class Session:
         data: Mapping[str, Any],
         *,
         shards: int = 1,
-        rng=None,
+        rng: RngLike = None,
         planned: PlannedAnalysis | None = None,
     ) -> "Session":
         """Run a plan as ``shards`` shard sessions over disjoint user slices
@@ -204,7 +204,7 @@ class Session:
             raise ValueError("data must contain at least one user")
         bounds = np.linspace(0, n, shards + 1).astype(int)
         merged: Session | None = None
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
+        for lo, hi in zip(bounds[:-1], bounds[1:], strict=True):
             if lo == hi:
                 continue
             shard = cls(plan, planned=planned).partial_fit(
@@ -512,7 +512,7 @@ class Session:
         *,
         confidence: float | None = None,
         n_bootstrap: int = 100,
-        rng=None,
+        rng: RngLike = None,
         precomputed: Mapping[str, Any] | None = None,
     ) -> AnalysisReport:
         """Answer every task in the plan from the state aggregated so far.

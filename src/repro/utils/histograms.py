@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.typing import ArrayLike, FloatArray, IntArray
 from repro.utils.validation import check_domain_size, check_unit_values
 
 __all__ = [
@@ -27,7 +28,7 @@ __all__ = [
 ]
 
 
-def bucketize(values: np.ndarray, d: int) -> np.ndarray:
+def bucketize(values: ArrayLike, d: int) -> IntArray:
     """Map values in ``[0, 1]`` to integer bucket indices in ``{0..d-1}``.
 
     The value 1.0 lands in the last bucket rather than an out-of-range one.
@@ -38,7 +39,7 @@ def bucketize(values: np.ndarray, d: int) -> np.ndarray:
     return np.minimum(idx, d - 1)
 
 
-def normalize_counts(counts: np.ndarray) -> np.ndarray:
+def normalize_counts(counts: ArrayLike) -> FloatArray:
     """Turn a non-negative count vector into a probability vector.
 
     A zero-total vector becomes the uniform distribution, which is the
@@ -55,13 +56,13 @@ def normalize_counts(counts: np.ndarray) -> np.ndarray:
     return arr / total
 
 
-def uniform_bucket_midpoints(d: int) -> np.ndarray:
+def uniform_bucket_midpoints(d: int) -> FloatArray:
     """Midpoints of ``d`` equal-width buckets covering ``[0, 1]``."""
     d = check_domain_size(d)
     return (np.arange(d) + 0.5) / d
 
 
-def histogram_cdf(x: np.ndarray) -> np.ndarray:
+def histogram_cdf(x: ArrayLike) -> FloatArray:
     """Cumulative distribution ``P(x, v)`` evaluated at bucket right edges."""
     arr = np.asarray(x, dtype=np.float64)
     if arr.ndim != 1:
@@ -69,13 +70,13 @@ def histogram_cdf(x: np.ndarray) -> np.ndarray:
     return np.cumsum(arr)
 
 
-def histogram_mean(x: np.ndarray) -> float:
+def histogram_mean(x: ArrayLike) -> float:
     """Mean of a histogram on ``[0, 1]`` using bucket midpoints."""
     arr = np.asarray(x, dtype=np.float64)
     return float(arr @ uniform_bucket_midpoints(arr.size))
 
 
-def histogram_variance(x: np.ndarray) -> float:
+def histogram_variance(x: ArrayLike) -> float:
     """Variance of a histogram on ``[0, 1]`` using bucket midpoints."""
     arr = np.asarray(x, dtype=np.float64)
     mids = uniform_bucket_midpoints(arr.size)
@@ -83,7 +84,7 @@ def histogram_variance(x: np.ndarray) -> float:
     return float(arr @ (mids - mean) ** 2)
 
 
-def histogram_quantile(x: np.ndarray, beta: float) -> float:
+def histogram_quantile(x: ArrayLike, beta: float) -> float:
     """Paper-style quantile ``Q(x, beta) = argmax_v { P(x, v) <= beta }``.
 
     Returns the *position* (in ``[0, 1]``) of the right edge of the last

@@ -9,14 +9,17 @@ children to each mechanism.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = ["RngLike", "as_generator", "spawn_generators"]
 
-RngLike = "None | int | np.random.Generator | np.random.SeedSequence"
+#: Anything :func:`as_generator` can coerce into a ``numpy.random.Generator``.
+RngLike: TypeAlias = "None | int | np.random.Generator | np.random.SeedSequence"
 
 
-def as_generator(rng=None) -> np.random.Generator:
+def as_generator(rng: RngLike = None) -> np.random.Generator:
     """Coerce ``rng`` into a ``numpy.random.Generator``.
 
     Accepts ``None`` (OS entropy), an integer seed, a ``SeedSequence``, or an
@@ -28,7 +31,7 @@ def as_generator(rng=None) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
-def spawn_generators(rng, n: int) -> list[np.random.Generator]:
+def spawn_generators(rng: RngLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
     Uses ``SeedSequence.spawn`` under the hood so children never overlap,

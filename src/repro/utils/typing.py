@@ -1,0 +1,27 @@
+"""Shared array type aliases for the strictly-typed core layers.
+
+Centralizing these keeps signatures readable under ``mypy --strict``:
+``disallow_any_generics`` rejects a bare ``np.ndarray``, and spelling
+``NDArray[np.float64]`` at every call site buries the signal. Inputs that
+merely need to be *coercible* to an array take ``ArrayLike`` (lists,
+tuples, scalars, arrays); outputs are always concrete dtyped arrays.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = ["ArrayLike", "FloatArray", "IntArray", "BoolArray"]
+
+#: A float64 numpy array — the package's working dtype for distributions,
+#: channels, and reports.
+FloatArray: TypeAlias = NDArray[np.float64]
+
+#: An int64 numpy array — bucket indices and count vectors on the wire.
+IntArray: TypeAlias = NDArray[np.int64]
+
+#: A boolean mask array.
+BoolArray: TypeAlias = NDArray[np.bool_]

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.typing import ArrayLike, FloatArray
+
 __all__ = [
     "check_epsilon",
     "check_domain_size",
@@ -42,7 +44,7 @@ def check_domain_size(d: int, *, name: str = "d", minimum: int = 2) -> int:
     return value
 
 
-def check_unit_values(values: np.ndarray, *, name: str = "values") -> np.ndarray:
+def check_unit_values(values: ArrayLike, *, name: str = "values") -> FloatArray:
     """Validate a 1-d array of inputs in ``[0, 1]`` and return it as float64.
 
     The unit interval is the canonical input domain for every continuous
@@ -64,8 +66,8 @@ def check_unit_values(values: np.ndarray, *, name: str = "values") -> np.ndarray
 
 
 def check_probability_vector(
-    x: np.ndarray, *, name: str = "x", atol: float = 1e-6
-) -> np.ndarray:
+    x: ArrayLike, *, name: str = "x", atol: float = 1e-6
+) -> FloatArray:
     """Validate a non-negative vector summing to 1 and return it as float64."""
     arr = np.asarray(x, dtype=np.float64)
     if arr.ndim != 1:

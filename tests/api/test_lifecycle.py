@@ -299,7 +299,7 @@ class TestStateSerialization:
             json.loads(json.dumps(shard_b.to_state()))
         )
         merged = shard_a.merge(restored).estimate()
-        for mine, theirs in zip(merged, combined.estimate()):
+        for mine, theirs in zip(merged, combined.estimate(), strict=True):
             np.testing.assert_allclose(mine, theirs)
 
     def test_server_state_round_trip(self, values):

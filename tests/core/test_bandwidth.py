@@ -22,7 +22,7 @@ class TestOptimalBandwidth:
     def test_monotone_nonincreasing(self):
         grid = np.linspace(0.05, 8.0, 60)
         values = [optimal_bandwidth(e) for e in grid]
-        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:], strict=False))
 
     def test_limit_small_epsilon_is_half(self):
         assert optimal_bandwidth(1e-6) == pytest.approx(0.5, abs=1e-4)

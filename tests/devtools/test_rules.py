@@ -1,0 +1,460 @@
+"""Fixture-driven tests for every reprolint rule.
+
+Each test writes small good/bad snippets into a temp directory and runs the
+analyzer over it, asserting the rule fires exactly where it should. Snippet
+modules are deliberately *not* named ``test_*.py`` so the analyzer treats
+them as production code (several rules skip test files).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import analyze_paths
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def lint_source(tmp_path: Path, source: str, rel: str = "mod.py"):
+    """Write one snippet and return ``(findings, suppressed)`` for it."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return analyze_paths([tmp_path], root=tmp_path)
+
+
+def codes(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# RNG001
+# ----------------------------------------------------------------------
+
+
+class TestRng001:
+    def test_np_random_module_call_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    np.random.shuffle(x)\n",
+        )
+        assert codes(findings) == ["RNG001"]
+        assert "np.random.shuffle" in findings[0].message
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import random\n"
+            "def f():\n"
+            "    return random.random()\n",
+        )
+        assert codes(findings) == ["RNG001"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from numpy.random import normal as gauss\n"
+            "def f():\n"
+            "    return gauss(0.0, 1.0)\n",
+        )
+        assert codes(findings) == ["RNG001"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "gen = np.random.default_rng()\n",
+        )
+        assert codes(findings) == ["RNG001"]
+
+    def test_seeded_default_rng_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "gen = np.random.default_rng(42)\n",
+        )
+        assert findings == []
+
+    def test_generator_draws_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(rng):\n"
+            "    gen = np.random.default_rng(rng)\n"
+            "    return gen.random(10)\n",
+        )
+        assert findings == []
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def as_generator(rng=None):\n"
+            "    return np.random.default_rng()\n",
+            rel="utils/rng.py",
+        )
+        assert findings == []
+
+    def test_applies_to_test_files_too(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def test_x():\n"
+            "    np.random.seed(0)\n",
+            rel="test_mod.py",
+        )
+        assert codes(findings) == ["RNG001"]
+
+
+# ----------------------------------------------------------------------
+# PRIV001
+# ----------------------------------------------------------------------
+
+
+class TestPriv001:
+    def test_raw_values_into_sink_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def send(values):\n"
+            "    return encode_batch(values)\n",
+        )
+        assert codes(findings) == ["PRIV001"]
+
+    def test_alias_taint_tracked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def send(values):\n"
+            "    payload = values * 2\n"
+            "    return encode_batch_v2('r', payload)\n",
+        )
+        assert codes(findings) == ["PRIV001"]
+
+    def test_privatize_sanitizes(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def send(mech, values):\n"
+            "    reports = mech.privatize(values)\n"
+            "    return encode_batch(reports)\n",
+        )
+        assert findings == []
+
+    def test_inline_privatize_sanitizes(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def send(mech, values):\n"
+            "    return encode_frame('r', mech.privatize(values), 'float')\n",
+        )
+        assert findings == []
+
+    def test_skips_test_files(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def send(values):\n"
+            "    return encode_batch(values)\n",
+            rel="test_send.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PRIV002
+# ----------------------------------------------------------------------
+
+
+class TestPriv002:
+    def test_unvalidated_constructor_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "class Mechanism:\n"
+            "    def __init__(self, epsilon):\n"
+            "        self.epsilon = epsilon\n",
+        )
+        assert codes(findings) == ["PRIV002"]
+
+    def test_check_epsilon_satisfies(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.utils.validation import check_epsilon\n"
+            "class Mechanism:\n"
+            "    def __init__(self, epsilon):\n"
+            "        self.epsilon = check_epsilon(epsilon)\n",
+        )
+        assert findings == []
+
+    def test_delegation_satisfies(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "class Wrapper:\n"
+            "    def __init__(self, epsilon):\n"
+            "        self.inner = Inner(epsilon)\n",
+        )
+        assert findings == []
+
+    def test_explicit_guard_satisfies(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def helper(eps):\n"
+            "    if eps <= 0:\n"
+            "        raise ValueError('eps')\n"
+            "    return eps\n",
+        )
+        assert findings == []
+
+    def test_private_helpers_exempt(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def _internal(epsilon):\n"
+            "    return epsilon * 2\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# NUM001
+# ----------------------------------------------------------------------
+
+
+class TestNum001:
+    def test_float_equality_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f(ratio):\n"
+            "    return ratio == 1.0\n",
+        )
+        assert codes(findings) == ["NUM001"]
+
+    def test_integer_equality_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f(n):\n"
+            "    return n == 1\n",
+        )
+        assert findings == []
+
+    def test_unguarded_np_log_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(probs):\n"
+            "    return np.log(probs)\n",
+        )
+        assert codes(findings) == ["NUM001"]
+
+    def test_floored_np_log_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(probs):\n"
+            "    return np.log(np.maximum(probs, 1e-300))\n",
+        )
+        assert findings == []
+
+    def test_where_masked_np_log_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(p, out, mask):\n"
+            "    return np.log(p, out=out, where=mask)\n",
+        )
+        assert findings == []
+
+    def test_unguarded_count_division_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f(total, n):\n"
+            "    return total / n\n",
+        )
+        assert codes(findings) == ["NUM001"]
+
+    def test_guarded_count_division_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f(total, n):\n"
+            "    if n < 1:\n"
+            "        raise ValueError('empty batch')\n"
+            "    return total / n\n",
+        )
+        assert findings == []
+
+    def test_skips_test_files(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f(ratio):\n"
+            "    return ratio == 1.0\n",
+            rel="test_ratio.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# NUM002
+# ----------------------------------------------------------------------
+
+
+class TestNum002:
+    def test_dense_call_in_solver_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def solve(operator, counts):\n"
+            "    m = operator.to_dense()\n"
+            "    return m @ counts\n",
+            rel="engine/solver.py",
+        )
+        assert codes(findings) == ["NUM002"]
+
+    def test_to_dense_implementation_allowed(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "class Op:\n"
+            "    def to_dense(self):\n"
+            "        return self.inner.to_dense()\n",
+            rel="engine/operators.py",
+        )
+        assert findings == []
+
+    def test_other_modules_unconstrained(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def build(mechanism, d):\n"
+            "    return mechanism.transition_matrix(d)\n",
+            rel="core/pipeline.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REG001
+# ----------------------------------------------------------------------
+
+_REGISTRY_PRELUDE = (
+    "class Estimator:\n"
+    "    pass\n"
+    "\n"
+    "def register_estimator(name, factory, **kwargs):\n"
+    "    pass\n"
+    "\n"
+)
+
+
+class TestReg001:
+    def test_unregistered_subclass_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + "class WiredEstimator(Estimator):\n"
+            "    name = 'wired'\n"
+            "    kind = 'distribution'\n"
+            "    wire_codec = 'float'\n"
+            "    n_reports = None\n"
+            "\n"
+            "register_estimator('wired', WiredEstimator)\n"
+            "\n"
+            "class OrphanEstimator(Estimator):\n"
+            "    name = 'orphan'\n"
+            "    kind = 'distribution'\n"
+            "    wire_codec = 'float'\n"
+            "    n_reports = None\n",
+        )
+        assert codes(findings) == ["REG001"]
+        assert "not wired into any register_estimator" in findings[0].message
+
+    def test_registered_subclass_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + "class WiredEstimator(Estimator):\n"
+            "    name = 'wired'\n"
+            "    kind = 'distribution'\n"
+            "    wire_codec = 'float'\n"
+            "    n_reports = None\n"
+            "\n"
+            "register_estimator('wired', WiredEstimator)\n",
+        )
+        assert findings == []
+
+    def test_missing_capabilities_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + "class BareEstimator(Estimator):\n"
+            "    name = 'bare'\n"
+            "    kind = 'distribution'\n"
+            "\n"
+            "register_estimator('bare', BareEstimator)\n",
+        )
+        assert codes(findings) == ["REG001"]
+        assert "wire_codec" in findings[0].message
+        assert "n_reports" in findings[0].message
+
+    def test_capabilities_inherited_from_family_base(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + "class WaveBase(Estimator):\n"
+            "    wire_codec = 'float'\n"
+            "    def n_reports(self, reports):\n"
+            "        return 0\n"
+            "\n"
+            "class LeafEstimator(WaveBase):\n"
+            "    name = 'leaf'\n"
+            "    kind = 'distribution'\n"
+            "\n"
+            "register_estimator('leaf', LeafEstimator)\n",
+        )
+        assert findings == []
+
+    def test_abstract_and_private_classes_exempt(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import abc\n" + _REGISTRY_PRELUDE
+            + "class FamilyBase(Estimator):\n"
+            "    @abc.abstractmethod\n"
+            "    def estimate(self):\n"
+            "        ...\n"
+            "\n"
+            "class _Hidden(Estimator):\n"
+            "    pass\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression plumbing
+# ----------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_inline_disable_suppresses(self, tmp_path):
+        findings, suppressed = lint_source(
+            tmp_path,
+            "def f(ratio):\n"
+            "    return ratio == 1.0  # reprolint: disable=NUM001 -- exact flag\n",
+        )
+        assert findings == []
+        assert codes(suppressed) == ["NUM001"]
+
+    def test_disable_is_rule_specific(self, tmp_path):
+        findings, suppressed = lint_source(
+            tmp_path,
+            "def f(ratio):\n"
+            "    return ratio == 1.0  # reprolint: disable=RNG001\n",
+        )
+        assert codes(findings) == ["NUM001"]
+        assert suppressed == []
+
+    def test_multiple_codes_on_one_line(self, tmp_path):
+        findings, suppressed = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def f(ratio, probs):\n"
+            "    return (ratio == 1.0) and np.log(probs).any()"
+            "  # reprolint: disable=NUM001, RNG001\n",
+        )
+        assert findings == []
+        assert len(suppressed) == 2
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        findings, _ = lint_source(tmp_path, "def broken(:\n")
+        assert codes(findings) == ["PARSE"]

@@ -181,7 +181,7 @@ class TestEMConfigRunMany:
         est.partial_fit(values, rng=np.random.default_rng(4))
         marginals = est.estimate()
         assert len(marginals) == 3
-        for attribute, marginal in zip(est.estimators, marginals):
+        for attribute, marginal in zip(est.estimators, marginals, strict=True):
             # Re-solve the attribute alone through the sequential API.
             solo = attribute.config.run(
                 attribute.transition_matrix,

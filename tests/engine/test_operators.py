@@ -190,7 +190,7 @@ class TestSolverEquivalence:
         np.testing.assert_allclose(
             got.log_likelihood, ref.log_likelihood, rtol=1e-12, atol=1e-7
         )
-        for hist_got, hist_ref in zip(got.histories, ref.histories):
+        for hist_got, hist_ref in zip(got.histories, ref.histories, strict=True):
             assert hist_got.shape == hist_ref.shape
             np.testing.assert_allclose(hist_got, hist_ref, rtol=1e-12, atol=1e-7)
 
@@ -208,7 +208,7 @@ class TestSolverEquivalence:
             np.testing.assert_array_equal(
                 got.log_likelihood, ref.log_likelihood
             )
-            for hist_got, hist_ref in zip(got.histories, ref.histories):
+            for hist_got, hist_ref in zip(got.histories, ref.histories, strict=True):
                 np.testing.assert_array_equal(hist_got, hist_ref)
 
     def test_operator_column_validation(self):
@@ -230,7 +230,7 @@ class TestSolverEquivalence:
         ref = batched_expectation_maximization(dense, counts, **kwargs)
         got = batched_expectation_maximization(op, counts, **kwargs)
         assert all(len(h) == 150 for h in got.histories)
-        for hist_got, hist_ref in zip(got.histories, ref.histories):
+        for hist_got, hist_ref in zip(got.histories, ref.histories, strict=True):
             np.testing.assert_allclose(hist_got, hist_ref, rtol=1e-12, atol=1e-7)
 
 
@@ -306,7 +306,7 @@ class TestEstimatorPlumbing:
         with dense_channels():
             dense = est.estimate()
         assert [e.result_.iterations for e in est.estimators] == iters
-        for s, m in zip(structured, dense):
+        for s, m in zip(structured, dense, strict=True):
             np.testing.assert_allclose(s, m, atol=1e-9)
 
     def test_warm_start_through_operator(self):

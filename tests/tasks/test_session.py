@@ -55,7 +55,7 @@ def merged_report(survey_plan, survey_data) -> AnalysisReport:
     n = next(iter(survey_data.values())).size
     bounds = np.linspace(0, n, 4).astype(int)
     shards = []
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
+    for lo, hi in zip(bounds[:-1], bounds[1:], strict=True):
         shard = Session(survey_plan)
         shard.partial_fit(
             {k: v[lo:hi] for k, v in survey_data.items()}, rng=rng

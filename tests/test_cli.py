@@ -149,7 +149,7 @@ class TestAnalyze:
         incomes = rng.gamma(4.0, 9000.0, 5000).clip(0, 100000)
         ages = rng.normal(45.0, 14.0, 5000).clip(18, 90)
         lines = ["income,age"] + [
-            f"{i:.2f},{a:.2f}" for i, a in zip(incomes, ages)
+            f"{i:.2f},{a:.2f}" for i, a in zip(incomes, ages, strict=True)
         ]
         path.write_text("\n".join(lines) + "\n")
         return path
