@@ -37,6 +37,7 @@ import numpy as np
 from repro.api.config import EMConfig
 from repro.core.smoothing import binomial_kernel
 from repro.core.square_wave import DiscreteSquareWave, SquareWave
+from repro.engine.backend import effective_cpu_count
 from repro.engine.cache import cached_transition_matrix
 from repro.engine.operators import DenseChannel
 from repro.engine.solver import batched_expectation_maximization
@@ -293,6 +294,7 @@ def main() -> int:
         "numpy": np.__version__,
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "effective_cores": effective_cpu_count(),
         "per_iteration_em": bench_per_iteration(
             d, batch=1, iters=iters, repeats=timing_reps, smoothing=False
         ),

@@ -51,6 +51,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.backend import ComputeBackend, resolve_backend
 from repro.utils.typing import ArrayLike, FloatArray, IntArray
 
 __all__ = [
@@ -132,11 +133,19 @@ class ChannelOperator:
     def d(self) -> int:
         return self.shape[1]
 
-    def matvec(self, x: ArrayLike) -> FloatArray:
-        """``M @ x`` for ``x`` of shape ``(d,)`` or ``(d, B)``."""
+    def matvec(
+        self, x: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
+        """``M @ x`` for ``x`` of shape ``(d,)`` or ``(d, B)``.
+
+        ``backend`` selects the compute backend for the product; ``None``
+        uses the process-wide active one (:func:`repro.engine.backend.backend`).
+        """
         raise NotImplementedError
 
-    def rmatvec(self, y: ArrayLike) -> FloatArray:
+    def rmatvec(
+        self, y: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
         """``M.T @ y`` for ``y`` of shape ``(d_out,)`` or ``(d_out, B)``."""
         raise NotImplementedError
 
@@ -173,22 +182,22 @@ class DenseChannel(ChannelOperator):
     def matrix(self) -> FloatArray:
         return self._m
 
-    def matvec(self, x: ArrayLike) -> FloatArray:
-        return self._m @ np.asarray(x, dtype=np.float64)
+    def matvec(
+        self, x: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
+        return resolve_backend(backend).matmul(
+            self._m, np.asarray(x, dtype=np.float64)
+        )
 
-    def rmatvec(self, y: ArrayLike) -> FloatArray:
-        return self._m.T @ np.asarray(y, dtype=np.float64)
+    def rmatvec(
+        self, y: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
+        return resolve_backend(backend).rmatmul(
+            self._m, np.asarray(y, dtype=np.float64)
+        )
 
     def to_dense(self) -> FloatArray:
         return self._m
-
-
-def _padded_cumsum(v: FloatArray) -> FloatArray:
-    """``S`` with ``S[k] = v[:k].sum()`` along axis 0 (batch-aware)."""
-    shape = (v.shape[0] + 1,) + v.shape[1:]
-    out = np.zeros(shape, dtype=np.float64)
-    np.cumsum(v, axis=0, out=out[1:])
-    return out
 
 
 def _transpose_bands(
@@ -249,17 +258,21 @@ class UniformPlusBandedChannel(ChannelOperator):
         self._rlo = _freeze(rlo, np.int64)
         self._rhi = _freeze(rhi, np.int64)
 
-    def matvec(self, x: ArrayLike) -> FloatArray:
+    def matvec(
+        self, x: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
-        s = _padded_cumsum(x)
-        total = s[-1]
-        return self.outside * total + self._delta * (s[self._hi] - s[self._lo])
+        return resolve_backend(backend).banded_product(
+            x, self._lo, self._hi, self._delta, self.outside
+        )
 
-    def rmatvec(self, y: ArrayLike) -> FloatArray:
+    def rmatvec(
+        self, y: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
         y = np.asarray(y, dtype=np.float64)
-        s = _padded_cumsum(y)
-        total = s[-1]
-        return self.outside * total + self._delta * (s[self._rhi] - s[self._rlo])
+        return resolve_backend(backend).banded_product(
+            y, self._rlo, self._rhi, self._delta, self.outside
+        )
 
     def to_dense(self) -> FloatArray:
         cols = np.arange(self.d)[None, :]
@@ -423,22 +436,24 @@ class UniformPlusToeplitzChannel(ChannelOperator):
         return max(self._rise.values.shape[0], self._fall.values.shape[0])
 
     # -- products ----------------------------------------------------------
-    def matvec(self, x: ArrayLike) -> FloatArray:
+    def matvec(
+        self, x: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
-        s = _padded_cumsum(x)
-        total = s[-1]
-        out = self._baseline * total
-        out = out + self._plateau * (s[self._band_hi] - s[self._band_lo])
+        out = resolve_backend(backend).banded_product(
+            x, self._band_lo, self._band_hi, self._plateau, self._baseline
+        )
         out += self._rise.apply(x)
         out += self._fall.apply(x)
         return out
 
-    def rmatvec(self, y: ArrayLike) -> FloatArray:
+    def rmatvec(
+        self, y: ArrayLike, *, backend: ComputeBackend | None = None
+    ) -> FloatArray:
         y = np.asarray(y, dtype=np.float64)
-        s = _padded_cumsum(y)
-        total = s[-1]
-        out = self._baseline * total
-        out = out + self._plateau * (s[self._col_band_hi] - s[self._col_band_lo])
+        out = resolve_backend(backend).banded_product(
+            y, self._col_band_lo, self._col_band_hi, self._plateau, self._baseline
+        )
         out += self._col_rise.apply(y)
         out += self._col_fall.apply(y)
         return out

@@ -37,13 +37,19 @@ from repro.protocol.messages import (
     encode_batch,
     encode_batch_v2,
 )
-from repro.protocol.server import CollectionServer, PlanServer, SWServer
+from repro.protocol.server import (
+    CollectionServer,
+    PlanServer,
+    SWServer,
+    estimate_rounds,
+)
 
 __all__ = [
     "SWClient",
     "CollectionServer",
     "PlanServer",
     "SWServer",
+    "estimate_rounds",
     "SWReport",
     "ReportEnvelope",
     "FeedGroup",

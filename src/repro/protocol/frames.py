@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.engine.backend import backend
 from repro.protocol.codecs import PayloadCodec, get_codec
 from repro.protocol.messages import (
     DEFAULT_ATTR,
@@ -169,6 +170,13 @@ def decode_frame_grouped(
     :func:`repro.protocol.messages.decode_feed_grouped`, so servers route
     both transports through one code path. The blocks partition the frame
     exactly; leftover bytes after the declared buffers are an error.
+
+    Header validation and buffer slicing run sequentially (zero-copy
+    ``frombuffer`` views, declared order, so structural errors surface
+    deterministically); the per-block ``codec.from_columns``
+    materialization — the astype/validation cost that actually scales with
+    report count — fans out across the active compute backend's workers
+    (:func:`repro.engine.backend.backend`), one task per block.
     """
     buf = bytes(data)
     header, offset = _read_header(buf)
@@ -180,11 +188,13 @@ def decode_frame_grouped(
     blocks = header.get("blocks")
     if not isinstance(blocks, list) or not blocks:
         raise ValueError("frame header declares no blocks")
-    groups: dict[str, FeedGroup] = {}
+    parsed: list[tuple[str, PayloadCodec, dict[str, NDArray[Any]], int]] = []
+    seen: set[str] = set()
     for block in blocks:
         attr = str(block.get("attr", DEFAULT_ATTR))
-        if attr in groups:
+        if attr in seen:
             raise ValueError(f"frame repeats attribute {attr!r}")
+        seen.add(attr)
         codec = get_codec(str(block.get("mech", "")))
         n = block.get("n")
         if not isinstance(n, int) or n < 1:
@@ -208,14 +218,22 @@ def decode_frame_grouped(
                 buf, dtype=np.dtype(dtype), count=n, offset=offset
             )
             offset += nbytes
-        groups[attr] = FeedGroup(
-            attr=attr, mechanism=codec.name, reports=codec.from_columns(columns), n=n
-        )
+        parsed.append((attr, codec, columns, n))
     if offset != len(buf):
         raise ValueError(
             f"frame carries {len(buf) - offset} undeclared trailing bytes"
         )
-    return round_id, groups
+
+    def materialize(
+        item: tuple[str, PayloadCodec, dict[str, NDArray[Any]], int],
+    ) -> FeedGroup:
+        attr, codec, columns, n = item
+        return FeedGroup(
+            attr=attr, mechanism=codec.name, reports=codec.from_columns(columns), n=n
+        )
+
+    decoded = backend().map_ordered(materialize, parsed)
+    return round_id, {group.attr: group for group in decoded}
 
 
 def decode_any_feed(

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import warnings
+from collections.abc import Mapping
 from typing import Any
 
 import numpy as np
@@ -58,7 +59,7 @@ from repro.protocol.messages import (
 )
 from repro.utils.rng import RngLike
 
-__all__ = ["CollectionServer", "PlanServer", "SWServer"]
+__all__ = ["CollectionServer", "PlanServer", "SWServer", "estimate_rounds"]
 
 #: Uniform-mixing weight applied to a cached posterior before it warm-starts
 #: EM — keeps every coordinate strictly positive (EM cannot move a zero), at
@@ -73,6 +74,31 @@ def _copy_estimate(value: Any) -> Any:
     if isinstance(value, list):
         return [_copy_estimate(item) for item in value]
     return value
+
+
+def estimate_rounds(servers: Mapping[str, "CollectionServer"]) -> dict[str, Any]:
+    """Reconstruct several independent servers' estimates in one pass.
+
+    The multi-shard solve scheduler: each server's :meth:`estimate` is an
+    independent solve (its own estimator, its own channel), so the batch
+    fans out across the active compute backend's workers
+    (:func:`repro.engine.backend.backend`) — a plan's attributes, or
+    several rounds' servers, solve concurrently instead of one after
+    another. The engine's matrix cache is lock-protected, so concurrent
+    solves sharing a channel are safe.
+
+    Returns ``{name: estimate}`` in the mapping's iteration order; any
+    solve's exception (notably :class:`repro.EmptyAggregateError` from a
+    still-empty round) propagates to the caller. Servers must be distinct
+    aggregation states — don't pass the same underlying estimator twice.
+    """
+    from repro.engine.backend import backend
+
+    names = list(servers)
+    estimates = backend().map_ordered(
+        lambda name: servers[name].estimate(), names
+    )
+    return dict(zip(names, estimates, strict=True))
 
 
 class CollectionServer:
@@ -424,16 +450,16 @@ class PlanServer:
         """Answer every task in the plan from the state aggregated so far.
 
         Reconstructions route through each attribute's incremental server
-        (cached posteriors are reused, EM warm-starts after deltas) and the
-        session turns them into the typed
+        (cached posteriors are reused, EM warm-starts after deltas), with
+        independent attributes solved concurrently via
+        :func:`estimate_rounds` when the active compute backend has
+        workers; the session turns them into the typed
         :class:`~repro.tasks.results.AnalysisReport`. Raises
         :class:`repro.EmptyAggregateError` naming the round and the
         still-empty attribute if any aggregator has no reports yet.
         """
         try:
-            estimates = {
-                attr: server.estimate() for attr, server in self._servers.items()
-            }
+            estimates = estimate_rounds(self._servers)
             return self.session.results(
                 confidence=confidence,
                 n_bootstrap=n_bootstrap,

@@ -40,7 +40,15 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RNG001", "PRIV001", "PRIV002", "NUM001", "NUM002", "REG001"):
+        for code in (
+            "RNG001",
+            "PRIV001",
+            "PRIV002",
+            "NUM001",
+            "NUM002",
+            "NUM003",
+            "REG001",
+        ):
             assert code in out
 
     def test_quiet_omits_summary(self, tmp_path, monkeypatch, capsys):
