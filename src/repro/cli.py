@@ -14,7 +14,11 @@ Subcommands mirror the deployment workflow:
 * ``pack`` / ``unpack`` / ``collect`` — the protocol-v2 serving workflow:
   randomize values into a wire feed for *any* registered mechanism
   (``--format jsonl|frame``), convert/inspect feeds, and run the
-  mechanism-agnostic collection server over one or more shard feeds.
+  mechanism-agnostic collection server over one or more shard feeds;
+* ``serve`` / ``loadgen`` — the deployment tier (``repro.service``): run
+  the sharded async HTTP collection service for a plan, and drive a
+  running service with synthetic clients while measuring ingest
+  latency/throughput.
 
 Examples::
 
@@ -334,6 +338,78 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig.from_plan_file(
+        args.plan,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        backends=args.backend,
+        host=args.host,
+        port=args.port,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import serve
+
+    config = _service_config(args)
+
+    def ready(host: str, port: int) -> None:
+        # Flushed so wrappers (CI smoke, examples) see the bound port
+        # immediately even when stdout is a pipe.
+        print(
+            f"serving plan {args.plan} on http://{host}:{port} "
+            f"({config.n_shards} shards, queue depth {config.queue_depth}); "
+            "Ctrl-C to stop",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve(config, ready=ready))
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.tasks import load_plan
+
+    from repro.service.loadgen import run_load
+
+    plan = load_plan(args.plan)
+    report = run_load(
+        args.host,
+        args.port,
+        plan,
+        args.round_id,
+        args.users,
+        batch_size=args.batch,
+        concurrency=args.concurrency,
+        rng=args.seed,
+    )
+    summary = report.to_dict()
+    print(
+        f"uploaded {summary['n_reports_accepted']:,} reports in "
+        f"{summary['n_uploads']} frames over {summary['elapsed_seconds']}s "
+        f"({summary['reports_per_second']:,.0f} reports/s; "
+        f"p50 {summary['latency_ms']['p50']}ms, "
+        f"p99 {summary['latency_ms']['p99']}ms, "
+        f"{summary['n_throttled']} throttled)"
+    )
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if summary["n_errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -454,6 +530,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-std", type=float, required=True)
     p.add_argument("--d", type=int, default=None)
     p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser(
+        "serve", help="run the sharded async collection service over HTTP"
+    )
+    p.add_argument("--plan", required=True, help="plan file (.json or .toml)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8350, help="0 picks a free port")
+    p.add_argument("--shards", type=int, default=2, help="shard aggregators")
+    p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="per-shard pending-block bound (backpressure threshold)",
+    )
+    p.add_argument(
+        "--backend", default=None,
+        help="compute backend spec for shard solves, e.g. threaded:4",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive a running service with synthetic clients"
+    )
+    p.add_argument("--plan", required=True, help="plan file (must match the server's)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--round-id", default="load-1")
+    p.add_argument("--users", type=int, default=100_000)
+    p.add_argument("--batch", type=int, default=10_000, help="users per frame")
+    p.add_argument("--concurrency", type=int, default=8, help="uploader connections")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--output", default=None, help="write the load report JSON here")
+    p.set_defaults(fn=_cmd_loadgen)
 
     return parser
 

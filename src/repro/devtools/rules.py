@@ -31,11 +31,17 @@ REG001    Every concrete ``Estimator`` subclass must be referenced by a
           ``register_estimator`` factory and expose ``name``, ``kind``,
           ``wire_codec``, and ``n_reports`` (declared on itself or an
           ancestor below the ``Estimator`` root).
+SVC001    No blocking calls inside ``repro.service`` async handlers:
+          ``time.sleep``, synchronous ``socket`` use, or direct solve
+          calls (``.estimate()``/``.report()``/``estimate_rounds``) on
+          the event loop. CPU-bound work must be offloaded through
+          ``run_in_executor``/``asyncio.to_thread`` worker threads.
 ========  ============================================================
 
 Rules that only make sense for production code (PRIV001, PRIV002, NUM001,
-NUM002, NUM003, REG001) skip test files; RNG001 applies everywhere — a test
-that draws from global RNG state poisons reproducibility just as surely.
+NUM002, NUM003, REG001, SVC001) skip test files; RNG001 applies everywhere
+— a test that draws from global RNG state poisons reproducibility just as
+surely.
 """
 
 from __future__ import annotations
@@ -898,6 +904,127 @@ class RegistryRule:
 
 
 # ----------------------------------------------------------------------
+# SVC001
+# ----------------------------------------------------------------------
+
+#: Calls that block the event loop outright when made from a coroutine.
+_BLOCKING_SLEEPS = frozenset({"time.sleep", "sleep"})
+#: Synchronous solve entry points — each can run a full EM reconstruction.
+_BLOCKING_SOLVES = frozenset({"estimate", "report", "estimate_rounds"})
+#: Offload seams whose argument subtrees legitimately name blocking work.
+_OFFLOAD_CALLS = frozenset({"run_in_executor", "to_thread"})
+
+
+class AsyncBlockingRule:
+    """SVC001 — ``repro.service`` async handlers never block the loop.
+
+    The service's throughput story rests on the event loop doing nothing
+    but parse/route/respond: one ``time.sleep``, one synchronous socket
+    round-trip, or one un-offloaded ``CollectionServer.estimate()`` in a
+    coroutine stalls *every* connection, and the loadgen's p99 shows it.
+    Blocking work belongs on worker threads behind ``run_in_executor`` /
+    ``asyncio.to_thread`` — calls inside those offload arguments (e.g. a
+    lambda handed to an executor) are exempt, as is ``asyncio.sleep``.
+    """
+
+    code = "SVC001"
+    summary = (
+        "no blocking calls (time.sleep, sync socket use, direct "
+        ".estimate()/.report()/estimate_rounds solves) inside "
+        "repro.service async handlers; offload via run_in_executor/"
+        "to_thread worker threads"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test or "service/" not in module.rel:
+            return []
+        findings: list[Finding] = []
+        for func in _functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            # Exempt spans: offload-call argument subtrees, and nested defs
+            # — sync helpers defined inline are meant to run on an
+            # executor, and nested *async* defs are visited on their own.
+            skip = self._offloaded_spans(func) + [
+                (nested.lineno, nested.end_lineno or nested.lineno)
+                for nested in ast.walk(func)
+                if isinstance(nested, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and nested is not func
+            ]
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if any(lo <= node.lineno <= hi for lo, hi in skip):
+                    continue
+                findings.extend(self._check_call(module, func, node))
+        return findings
+
+    @staticmethod
+    def _offloaded_spans(
+        func: ast.AsyncFunctionDef,
+    ) -> list[tuple[int, int]]:
+        """Line spans of run_in_executor/to_thread argument subtrees."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and _last_name(node.func) in _OFFLOAD_CALLS
+            ):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    def _check_call(
+        self,
+        module: AnalyzedModule,
+        func: ast.AsyncFunctionDef,
+        node: ast.Call,
+    ) -> list[Finding]:
+        dotted = _dotted(node.func) or ""
+        fn = _last_name(node.func)
+        if dotted == "time.sleep":
+            return [
+                module.finding(
+                    node,
+                    self.code,
+                    f"time.sleep() inside async {func.name}() stalls the "
+                    "whole event loop; use await asyncio.sleep()",
+                )
+            ]
+        if dotted.startswith("socket.") or dotted == "socket":
+            return [
+                module.finding(
+                    node,
+                    self.code,
+                    f"synchronous socket call {dotted}() inside async "
+                    f"{func.name}() blocks the event loop; use the asyncio "
+                    "stream APIs (open_connection/start_server)",
+                )
+            ]
+        if fn in _BLOCKING_SOLVES and isinstance(node.func, ast.Attribute):
+            return [
+                module.finding(
+                    node,
+                    self.code,
+                    f".{fn}() can run a full merge + EM solve; calling it "
+                    f"directly inside async {func.name}() blocks every "
+                    "connection — offload it via loop.run_in_executor or "
+                    "asyncio.to_thread",
+                )
+            ]
+        if fn == "estimate_rounds" and isinstance(node.func, ast.Name):
+            return [
+                module.finding(
+                    node,
+                    self.code,
+                    f"estimate_rounds() fans out whole solve batches; inside "
+                    f"async {func.name}() it blocks every connection — "
+                    "offload it via loop.run_in_executor or asyncio.to_thread",
+                )
+            ]
+        return []
+
+
+# ----------------------------------------------------------------------
 # catalogue
 # ----------------------------------------------------------------------
 
@@ -909,6 +1036,7 @@ RULES: tuple[object, ...] = (
     DenseMaterializationRule(),
     BackendBypassRule(),
     RegistryRule(),
+    AsyncBlockingRule(),
 )
 
 

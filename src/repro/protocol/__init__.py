@@ -17,11 +17,13 @@ from repro.protocol.codecs import (
 )
 from repro.protocol.frames import (
     FRAME_MAGIC,
+    FrameBlock,
     decode_frame,
     decode_frame_grouped,
     encode_frame,
     encode_frame_blocks,
     is_frame,
+    iter_frame_blocks,
 )
 from repro.protocol.messages import (
     DEFAULT_ATTR,
@@ -39,6 +41,7 @@ from repro.protocol.messages import (
 )
 from repro.protocol.server import (
     CollectionServer,
+    EstimateFailure,
     PlanServer,
     SWServer,
     estimate_rounds,
@@ -49,6 +52,7 @@ __all__ = [
     "CollectionServer",
     "PlanServer",
     "SWServer",
+    "EstimateFailure",
     "estimate_rounds",
     "SWReport",
     "ReportEnvelope",
@@ -57,6 +61,8 @@ __all__ = [
     "PROTOCOL_V2",
     "DEFAULT_ATTR",
     "FRAME_MAGIC",
+    "FrameBlock",
+    "iter_frame_blocks",
     "PayloadCodec",
     "register_codec",
     "get_codec",

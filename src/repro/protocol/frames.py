@@ -31,9 +31,9 @@ from __future__ import annotations
 
 import json
 import struct
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Protocol
 
 import numpy as np
 from numpy.typing import NDArray
@@ -49,12 +49,14 @@ from repro.protocol.messages import (
 
 __all__ = [
     "FRAME_MAGIC",
+    "FrameBlock",
     "is_frame",
     "encode_frame",
     "encode_frame_blocks",
     "decode_frame",
     "decode_frame_grouped",
     "decode_any_feed",
+    "iter_frame_blocks",
 ]
 
 #: First four bytes of every frame ("Repro Protocol Frame", version 2).
@@ -141,15 +143,110 @@ def encode_frame(
     return encode_frame_blocks(round_id, [(attr, codec, reports)])
 
 
-def _read_header(data: bytes) -> tuple[dict[str, Any], int]:
-    buf = bytes(data)
-    if len(buf) < 8 or buf[:4] != FRAME_MAGIC:
+class _SupportsRead(Protocol):
+    """Anything with a ``read(n)`` returning at most ``n`` bytes."""
+
+    def read(self, n: int, /) -> bytes: ...
+
+
+class _ByteSource:
+    """Exact-read cursor over either a byte string or a binary stream.
+
+    Byte-string sources hand out zero-copy ``memoryview`` slices; stream
+    sources read exactly the requested span (looping over short reads).
+    Either way a short span surfaces as ``None`` so the caller can raise
+    with block/column context, and :meth:`leftover` reports undeclared
+    trailing bytes after the last declared buffer.
+    """
+
+    def __init__(self, source: bytes | bytearray | memoryview | _SupportsRead) -> None:
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf: memoryview | None = memoryview(bytes(source))
+            self._offset = 0
+            self._stream: _SupportsRead | None = None
+        else:
+            self._buf = None
+            self._offset = 0
+            self._stream = source
+
+    def take(self, nbytes: int) -> memoryview | bytes | None:
+        """The next ``nbytes`` exactly, or ``None`` if the source runs dry."""
+        if self._buf is not None:
+            end = self._offset + nbytes
+            if end > len(self._buf):
+                return None
+            view = self._buf[self._offset : end]
+            self._offset = end
+            return view
+        assert self._stream is not None
+        parts: list[bytes] = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = self._stream.read(remaining)
+            if not chunk:
+                return None
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def leftover(self) -> int:
+        """Bytes remaining after the declared buffers (0 for a clean frame).
+
+        For streams only *whether* bytes remain is knowable without
+        draining; one trailing byte is reported as 1.
+        """
+        if self._buf is not None:
+            return len(self._buf) - self._offset
+        assert self._stream is not None
+        return 1 if self._stream.read(1) else 0
+
+
+@dataclass(frozen=True)
+class FrameBlock:
+    """One attribute's column block, decoded lazily from a frame.
+
+    ``columns`` holds the raw wire arrays (zero-copy views for byte-string
+    sources); :meth:`materialize` runs the codec's ``from_columns``
+    validation — the cost that scales with report count — and returns the
+    :class:`~repro.protocol.messages.FeedGroup` servers ingest. Streaming
+    consumers (the service ingest tier) materialize and drop one block at a
+    time, so peak memory stays bounded by the largest block rather than the
+    whole feed.
+    """
+
+    round_id: str
+    attr: str
+    codec: PayloadCodec
+    columns: dict[str, NDArray[Any]]
+    n: int
+
+    @property
+    def mechanism(self) -> str:
+        """The payload codec name this block's reports travel under."""
+        return self.codec.name
+
+    def materialize(self) -> FeedGroup:
+        """Validate the columns and build the ingestable report batch."""
+        return FeedGroup(
+            attr=self.attr,
+            mechanism=self.codec.name,
+            reports=self.codec.from_columns(self.columns),
+            n=self.n,
+        )
+
+
+def _read_header_from(src: _ByteSource) -> dict[str, Any]:
+    prefix = src.take(8)
+    if prefix is None or bytes(prefix[:4]) != FRAME_MAGIC:
         raise ValueError("not a protocol v2 frame (bad magic)")
-    (header_len,) = _HEADER_LEN.unpack_from(buf, 4)
-    if header_len > _MAX_HEADER_BYTES or 8 + header_len > len(buf):
+    (header_len,) = _HEADER_LEN.unpack_from(bytes(prefix), 4)
+    if header_len > _MAX_HEADER_BYTES:
+        raise ValueError("frame header length exceeds the payload (truncated?)")
+    header_bytes = src.take(header_len)
+    if header_bytes is None:
         raise ValueError("frame header length exceeds the payload (truncated?)")
     try:
-        header = json.loads(buf[8 : 8 + header_len].decode("utf-8"))
+        header = json.loads(bytes(header_bytes).decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
         raise ValueError("frame header is not valid JSON") from exc
     if not isinstance(header, dict) or header.get("version") != PROTOCOL_V2:
@@ -158,28 +255,33 @@ def _read_header(data: bytes) -> tuple[dict[str, Any], int]:
             f"unsupported frame version {version!r} "
             f"(this decoder speaks {PROTOCOL_V2})"
         )
-    return header, 8 + header_len
+    return header
 
 
-def decode_frame_grouped(
-    data: bytes, expected_round: str | None = None
-) -> tuple[str, dict[str, FeedGroup]]:
-    """Decode a frame into per-attribute report batches.
+def iter_frame_blocks(
+    source: bytes | bytearray | memoryview | _SupportsRead,
+    expected_round: str | None = None,
+) -> Iterator[FrameBlock]:
+    """Stream a frame's column blocks without materializing the whole feed.
 
-    Returns ``(round_id, {attr: FeedGroup})`` — the same shape as
-    :func:`repro.protocol.messages.decode_feed_grouped`, so servers route
-    both transports through one code path. The blocks partition the frame
-    exactly; leftover bytes after the declared buffers are an error.
+    Accepts either a complete byte string or a binary stream (anything with
+    ``read(n)``, e.g. an open file or a socket wrapper) and yields one
+    :class:`FrameBlock` per declared block, in wire order. Header and
+    per-block structure are validated eagerly as the cursor reaches them —
+    duplicate attributes, bad counts, codec/column mismatches, and
+    truncated buffers fail loudly at the offending block — and undeclared
+    trailing bytes after the last block raise once the iterator is
+    exhausted, so a fully-drained iterator certifies the same structural
+    contract as :func:`decode_frame_grouped`.
 
-    Header validation and buffer slicing run sequentially (zero-copy
-    ``frombuffer`` views, declared order, so structural errors surface
-    deterministically); the per-block ``codec.from_columns``
-    materialization — the astype/validation cost that actually scales with
-    report count — fans out across the active compute backend's workers
-    (:func:`repro.engine.backend.backend`), one task per block.
+    The generator never calls ``codec.from_columns``; callers choose when
+    (and whether) to pay per-block materialization via
+    :meth:`FrameBlock.materialize`. This is the bounded-memory ingest path:
+    the service drains a frame block by block, folding each into O(state)
+    aggregation before touching the next.
     """
-    buf = bytes(data)
-    header, offset = _read_header(buf)
+    src = _ByteSource(source)
+    header = _read_header_from(src)
     round_id = str(header.get("round_id", ""))
     if expected_round is not None and round_id != expected_round:
         raise ValueError(
@@ -188,9 +290,10 @@ def decode_frame_grouped(
     blocks = header.get("blocks")
     if not isinstance(blocks, list) or not blocks:
         raise ValueError("frame header declares no blocks")
-    parsed: list[tuple[str, PayloadCodec, dict[str, NDArray[Any]], int]] = []
     seen: set[str] = set()
     for block in blocks:
+        if not isinstance(block, dict):
+            raise ValueError("frame header block entries must be objects")
         attr = str(block.get("attr", DEFAULT_ATTR))
         if attr in seen:
             raise ValueError(f"frame repeats attribute {attr!r}")
@@ -210,30 +313,43 @@ def decode_frame_grouped(
         columns: dict[str, NDArray[Any]] = {}
         for name, dtype in codec.columns:
             nbytes = n * np.dtype(dtype).itemsize
-            if offset + nbytes > len(buf):
+            raw = src.take(nbytes)
+            if raw is None:
                 raise ValueError(
                     f"frame block {attr!r} column {name!r} is truncated"
                 )
-            columns[name] = np.frombuffer(
-                buf, dtype=np.dtype(dtype), count=n, offset=offset
-            )
-            offset += nbytes
-        parsed.append((attr, codec, columns, n))
-    if offset != len(buf):
+            columns[name] = np.frombuffer(raw, dtype=np.dtype(dtype), count=n)
+        yield FrameBlock(
+            round_id=round_id, attr=attr, codec=codec, columns=columns, n=n
+        )
+    trailing = src.leftover()
+    if trailing:
         raise ValueError(
-            f"frame carries {len(buf) - offset} undeclared trailing bytes"
+            f"frame carries {trailing} undeclared trailing bytes"
         )
 
-    def materialize(
-        item: tuple[str, PayloadCodec, dict[str, NDArray[Any]], int],
-    ) -> FeedGroup:
-        attr, codec, columns, n = item
-        return FeedGroup(
-            attr=attr, mechanism=codec.name, reports=codec.from_columns(columns), n=n
-        )
 
-    decoded = backend().map_ordered(materialize, parsed)
-    return round_id, {group.attr: group for group in decoded}
+def decode_frame_grouped(
+    data: bytes, expected_round: str | None = None
+) -> tuple[str, dict[str, FeedGroup]]:
+    """Decode a frame into per-attribute report batches.
+
+    Returns ``(round_id, {attr: FeedGroup})`` — the same shape as
+    :func:`repro.protocol.messages.decode_feed_grouped`, so servers route
+    both transports through one code path. The blocks partition the frame
+    exactly; leftover bytes after the declared buffers are an error.
+
+    Header validation and buffer slicing run sequentially through
+    :func:`iter_frame_blocks` (zero-copy ``frombuffer`` views, declared
+    order, so structural errors surface deterministically); the per-block
+    ``codec.from_columns`` materialization — the astype/validation cost
+    that actually scales with report count — fans out across the active
+    compute backend's workers (:func:`repro.engine.backend.backend`), one
+    task per block.
+    """
+    parsed = list(iter_frame_blocks(bytes(data), expected_round=expected_round))
+    decoded = backend().map_ordered(FrameBlock.materialize, parsed)
+    return parsed[0].round_id, {group.attr: group for group in decoded}
 
 
 def decode_any_feed(

@@ -32,8 +32,10 @@ frame/JSONL feed, and emits the typed
 from __future__ import annotations
 
 import json
+import threading
 import warnings
 from collections.abc import Mapping
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -59,7 +61,13 @@ from repro.protocol.messages import (
 )
 from repro.utils.rng import RngLike
 
-__all__ = ["CollectionServer", "PlanServer", "SWServer", "estimate_rounds"]
+__all__ = [
+    "CollectionServer",
+    "EstimateFailure",
+    "PlanServer",
+    "SWServer",
+    "estimate_rounds",
+]
 
 #: Uniform-mixing weight applied to a cached posterior before it warm-starts
 #: EM — keeps every coordinate strictly positive (EM cannot move a zero), at
@@ -76,29 +84,83 @@ def _copy_estimate(value: Any) -> Any:
     return value
 
 
-def estimate_rounds(servers: Mapping[str, "CollectionServer"]) -> dict[str, Any]:
+@dataclass(frozen=True)
+class EstimateFailure:
+    """One round's failed solve inside an :func:`estimate_rounds` batch.
+
+    Carries the key it failed under and the original exception, so callers
+    (the service's estimate endpoint, monitoring) can report per-round
+    errors structurally instead of losing every other round's result to
+    the first raise.
+    """
+
+    key: str
+    error: Exception
+
+    @property
+    def message(self) -> str:
+        return str(self.error)
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-serializable form for service responses and logs."""
+        return {
+            "key": self.key,
+            "type": type(self.error).__name__,
+            "message": str(self.error),
+        }
+
+
+def estimate_rounds(
+    servers: Mapping[str, "CollectionServer"],
+    *,
+    on_error: str = "raise",
+    backend: Any = None,
+) -> dict[str, Any]:
     """Reconstruct several independent servers' estimates in one pass.
 
     The multi-shard solve scheduler: each server's :meth:`estimate` is an
     independent solve (its own estimator, its own channel), so the batch
-    fans out across the active compute backend's workers
-    (:func:`repro.engine.backend.backend`) — a plan's attributes, or
-    several rounds' servers, solve concurrently instead of one after
-    another. The engine's matrix cache is lock-protected, so concurrent
-    solves sharing a channel are safe.
+    fans out across the compute backend's workers (``backend=`` — a
+    :class:`~repro.engine.backend.ComputeBackend`, a spec string like
+    ``"threaded:4"``, or ``None`` for the process-wide active backend) — a
+    plan's attributes, or several rounds' servers, solve concurrently
+    instead of one after another. The engine's matrix cache is
+    lock-protected, so concurrent solves sharing a channel are safe.
 
-    Returns ``{name: estimate}`` in the mapping's iteration order; any
-    solve's exception (notably :class:`repro.EmptyAggregateError` from a
-    still-empty round) propagates to the caller. Servers must be distinct
-    aggregation states — don't pass the same underlying estimator twice.
+    Every solve runs to completion regardless of the others: one empty or
+    broken round no longer aborts the whole batch. Failures surface per
+    key — with ``on_error="return"`` the result maps each failed key to an
+    :class:`EstimateFailure` (successes map to their estimates as usual);
+    with the default ``on_error="raise"`` the first failed key's original
+    exception (notably :class:`repro.EmptyAggregateError` from a
+    still-empty round) is re-raised after the batch finishes, so the
+    surviving rounds' posteriors are still cached for the retry.
+
+    Returns ``{name: estimate_or_failure}`` in the mapping's iteration
+    order. Servers must be distinct aggregation states — don't pass the
+    same underlying estimator twice.
     """
-    from repro.engine.backend import backend
+    if on_error not in ("raise", "return"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'return', got {on_error!r}"
+        )
+    from repro.engine.backend import resolve_backend
 
     names = list(servers)
-    estimates = backend().map_ordered(
-        lambda name: servers[name].estimate(), names
-    )
-    return dict(zip(names, estimates, strict=True))
+
+    def solve(name: str) -> Any:
+        try:
+            return servers[name].estimate()
+        except Exception as exc:  # surfaced per key, not aborted mid-batch
+            return EstimateFailure(key=name, error=exc)
+
+    estimates = resolve_backend(backend).map_ordered(solve, names)
+    results = dict(zip(names, estimates, strict=True))
+    if on_error == "raise":
+        for value in results.values():
+            if isinstance(value, EstimateFailure):
+                raise value.error
+    return results
 
 
 class CollectionServer:
@@ -154,6 +216,12 @@ class CollectionServer:
         self._codec = codec_for_estimator(estimator)
         self._cached: Any = None
         self._cached_key: str | None = None
+        # Ingest, estimate, merge, and snapshot all cross this lock: a shard
+        # worker folding reports in while another thread solves must never
+        # interleave a half-applied batch into the fingerprint the posterior
+        # cache is keyed on. Reentrant, because estimate() fans out through
+        # backend pools whose map may run inline on this thread.
+        self._lock = threading.RLock()
 
     @classmethod
     def for_estimator(
@@ -210,11 +278,31 @@ class CollectionServer:
             return encode_batch_v2(self.round_id, reports, self._codec, attr=self.attr)
         raise ValueError(f"format must be 'frame' or 'jsonl', got {format!r}")
 
+    def rebind_estimator(self, estimator: Estimator) -> None:
+        """Swap in a replacement aggregation state, keeping the posterior cache.
+
+        The estimate tier of a sharded deployment folds shard snapshots
+        into a freshly merged estimator each round; rebinding it here
+        (instead of rebuilding the server) preserves the fingerprint-keyed
+        posterior cache, so an unchanged merge skips the solve entirely and
+        a small delta warm-starts EM from the previous posterior. The
+        replacement must speak the same wire codec as the original.
+        """
+        codec = codec_for_estimator(estimator)
+        if codec.name != self._codec.name:
+            raise ValueError(
+                f"cannot rebind {type(estimator).__name__} ({codec.name!r} "
+                f"payloads) into a server expecting {self._codec.name!r}"
+            )
+        with self._lock:
+            self._estimator = estimator
+
     # -- ingestion ---------------------------------------------------------
     def ingest_reports(self, reports: Any) -> int:
         """Add one already-decoded report batch; returns the report count."""
         n = self._codec.n_reports(reports)
-        self._estimator.ingest(reports)
+        with self._lock:
+            self._estimator.ingest(reports)
         return n
 
     def _ingest_group(self, group: FeedGroup) -> int:
@@ -224,7 +312,8 @@ class CollectionServer:
                 f"{group.mechanism!r} payloads, server expects "
                 f"{self._codec.name!r}"
             )
-        self._estimator.ingest(group.reports)
+        with self._lock:
+            self._estimator.ingest(group.reports)
         return group.n
 
     def _ingest_groups(self, groups: dict[str, FeedGroup]) -> int:
@@ -278,30 +367,31 @@ class CollectionServer:
         otherwise. Raises :class:`repro.EmptyAggregateError` naming the
         round and attribute while the round is still empty.
         """
-        if self._estimator.n_reports == 0:
-            raise EmptyAggregateError(
-                f"no reports ingested for round {self.round_id!r}, "
-                f"attribute {self.attr!r}"
-            )
-        key = self._state_key() if self.incremental else None
-        if self.incremental and key == self._cached_key:
-            return _copy_estimate(self._cached)
-        x0 = None
-        if (
-            self.incremental
-            and isinstance(self._cached, np.ndarray)
-            and self._warm_startable()
-        ):
-            prev = self._cached
-            x0 = (1.0 - _WARM_START_MIX) * prev + _WARM_START_MIX / prev.size
-        if x0 is not None:
-            estimate = self._estimator.estimate(x0=x0)
-        else:
-            estimate = self._estimator.estimate()
-        if self.incremental:
-            self._cached = _copy_estimate(estimate)
-            self._cached_key = key
-        return estimate
+        with self._lock:
+            if self._estimator.n_reports == 0:
+                raise EmptyAggregateError(
+                    f"no reports ingested for round {self.round_id!r}, "
+                    f"attribute {self.attr!r}"
+                )
+            key = self._state_key() if self.incremental else None
+            if self.incremental and key == self._cached_key:
+                return _copy_estimate(self._cached)
+            x0 = None
+            if (
+                self.incremental
+                and isinstance(self._cached, np.ndarray)
+                and self._warm_startable()
+            ):
+                prev = self._cached
+                x0 = (1.0 - _WARM_START_MIX) * prev + _WARM_START_MIX / prev.size
+            if x0 is not None:
+                estimate = self._estimator.estimate(x0=x0)
+            else:
+                estimate = self._estimator.estimate()
+            if self.incremental:
+                self._cached = _copy_estimate(estimate)
+                self._cached_key = key
+            return estimate
 
     # -- shard merge + serialization --------------------------------------
     def merge(self, other: "CollectionServer") -> "CollectionServer":
@@ -320,21 +410,26 @@ class CollectionServer:
                 f"cannot merge attribute {other.attr!r} into attribute "
                 f"{self.attr!r}"
             )
-        self._estimator.merge(other._estimator)
-        self._cached = None
-        self._cached_key = None
+        # Both states cross the fold; take the locks in id order so two
+        # threads merging opposite directions cannot deadlock.
+        first, second = sorted((self._lock, other._lock), key=id)
+        with first, second:
+            self._estimator.merge(other._estimator)
+            self._cached = None
+            self._cached_key = None
         return self
 
     def to_state(self) -> dict:
         """Serialize the round identity plus the aggregation state."""
-        return {
-            "class": "repro.protocol.server:CollectionServer",
-            "round_id": self.round_id,
-            "attr": self.attr,
-            "mechanism": self.mechanism_name,
-            "incremental": self.incremental,
-            "estimator": self._estimator.to_state(),
-        }
+        with self._lock:
+            return {
+                "class": "repro.protocol.server:CollectionServer",
+                "round_id": self.round_id,
+                "attr": self.attr,
+                "mechanism": self.mechanism_name,
+                "incremental": self.incremental,
+                "estimator": self._estimator.to_state(),
+            }
 
     @classmethod
     def from_state(cls, payload: dict) -> "CollectionServer":

@@ -1,0 +1,51 @@
+"""Sharded async collection service over the protocol/tasks stack.
+
+The deployment-shaped top layer: an asyncio HTTP/1.1 ingest front end
+(:mod:`repro.service.http`) accepting RPF2 frame and JSON-lines uploads
+with bounded-queue backpressure, a set of shard aggregators routed by a
+consistent hash over ``(round, attr)`` (:mod:`repro.service.core`,
+:mod:`repro.service.sharding`), a warm-start-aware merge/estimate tier
+folding shard snapshots through a binary merge tree, and a load
+harness that simulates millions of clients
+(:mod:`repro.service.loadgen`). Run it from the CLI with
+``python -m repro serve --plan plan.json`` and drive it with
+``python -m repro loadgen``.
+"""
+
+from repro.service.config import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_QUEUE_DEPTH,
+    ServiceConfig,
+)
+from repro.service.core import (
+    ServiceOverloadError,
+    ShardAggregator,
+    ShardedCollector,
+)
+from repro.service.http import (
+    ReportService,
+    ServiceHandle,
+    serve,
+    start_local_service,
+)
+from repro.service.loadgen import LoadReport, run_load, synthesize_frames
+from repro.service.sharding import HashRing, merge_tree, stable_hash
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_QUEUE_DEPTH",
+    "HashRing",
+    "LoadReport",
+    "ReportService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceOverloadError",
+    "ShardAggregator",
+    "ShardedCollector",
+    "merge_tree",
+    "run_load",
+    "serve",
+    "start_local_service",
+    "stable_hash",
+    "synthesize_frames",
+]

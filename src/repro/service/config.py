@@ -1,0 +1,120 @@
+"""Configuration for the sharded collection service.
+
+A :class:`ServiceConfig` binds one :class:`~repro.tasks.plan.AnalysisPlan`
+to the deployment knobs of :mod:`repro.service`: how many shard
+aggregators to run, how deep each shard's ingest queue is (the
+backpressure bound — the whole point is that the ingest tier never holds
+more than ``n_shards * queue_depth`` undecoded blocks), how large one
+upload may be, and which compute backend each shard's solves run on.
+
+The plan is resolved once (:func:`~repro.tasks.planner.plan_analysis`)
+and the resulting :class:`~repro.tasks.planner.PlannedAnalysis` is shared
+by every shard, so all shards build identically-configured estimators —
+the precondition for exact merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.tasks.plan import AnalysisPlan, load_plan
+from repro.tasks.planner import PlannedAnalysis, plan_analysis
+
+__all__ = ["DEFAULT_MAX_BODY_BYTES", "DEFAULT_QUEUE_DEPTH", "ServiceConfig"]
+
+#: Per-shard ingest queue bound (pending blocks, not reports). Deep enough
+#: to ride out a solve hiccup, shallow enough that ingest-tier memory stays
+#: a small multiple of one upload.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Largest accepted upload body. Bounds per-request ingest memory; clients
+#: with more reports send more frames.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment shape of one collection service.
+
+    Parameters
+    ----------
+    plan:
+        The analysis plan every round of this service collects for.
+    n_shards:
+        Number of shard aggregators; ``(round, attr)`` keys are spread
+        over them by the consistent ring of :mod:`repro.service.sharding`.
+    queue_depth:
+        Bound on each shard's pending-block queue; submissions that would
+        exceed it are rejected whole (HTTP 429), never partially applied.
+    max_body_bytes:
+        Largest accepted upload body, enforced before the body is read.
+    backends:
+        Compute-backend spec per shard (see
+        :func:`repro.engine.backend.make_backend`): a single spec string
+        applies to every shard, a sequence assigns one per shard index,
+        ``None`` uses the process-wide active backend everywhere. The
+        estimate tier runs each attribute's solve on its home shard's
+        backend.
+    incremental:
+        Forwarded to the estimate tier's merged
+        :class:`~repro.protocol.server.CollectionServer` objects — keeps
+        warm-start behaviour on by default.
+    host, port:
+        Bind address for :func:`repro.service.http.serve`. Port ``0``
+        picks a free port (the bound address is reported back).
+    """
+
+    plan: AnalysisPlan
+    n_shards: int = 2
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    backends: str | Sequence[str | None] | None = None
+    incremental: bool = True
+    host: str = "127.0.0.1"
+    port: int = 0
+    _planned: PlannedAnalysis | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if not isinstance(self.backends, (str, type(None))):
+            specs = tuple(self.backends)
+            if len(specs) != self.n_shards:
+                raise ValueError(
+                    f"backends lists {len(specs)} specs for {self.n_shards} "
+                    "shards; pass one spec string to share a backend"
+                )
+            object.__setattr__(self, "backends", specs)
+
+    @classmethod
+    def from_plan_file(cls, path: str | Path, **kwargs) -> "ServiceConfig":
+        """Build a config from a plan JSON/TOML file plus keyword knobs."""
+        return cls(plan=load_plan(path), **kwargs)
+
+    @property
+    def planned(self) -> PlannedAnalysis:
+        """The resolved plan, computed once and shared by every shard."""
+        if self._planned is None:
+            object.__setattr__(self, "_planned", plan_analysis(self.plan))
+        assert self._planned is not None
+        return self._planned
+
+    def backend_spec(self, shard: int) -> str | None:
+        """The compute-backend spec shard ``shard`` solves on."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )
+        if self.backends is None or isinstance(self.backends, str):
+            return self.backends
+        return self.backends[shard]

@@ -1,0 +1,411 @@
+"""Shard aggregators and the sharded collector behind the HTTP front end.
+
+The ingest tier is a fixed set of :class:`ShardAggregator` workers. Each
+owns the :class:`~repro.protocol.server.CollectionServer` aggregation
+states for the ``(round, attr)`` keys the consistent ring
+(:mod:`repro.service.sharding`) assigns it, plus one bounded queue of
+pending wire blocks and one worker thread that drains it. Memory in this
+tier is bounded by construction: a queue slot holds one decoded-columns
+block (itself bounded by the upload size limit), aggregation state is
+O(state) per key, and nothing ever concatenates a full feed.
+
+:class:`ShardedCollector` is the coordinator. Uploads are validated and
+split into per-shard block batches on the submitting thread; a batch is
+accepted **all-or-nothing** — if any target shard's queue cannot take its
+blocks, :class:`ServiceOverloadError` is raised (HTTP 429) and *no* block
+is enqueued, so a retried upload can never double-count. The capacity
+check is sound because submissions are serialized (the HTTP tier runs
+them on one executor thread) while workers only ever *free* slots.
+
+``estimate()`` is the merge tier: drain the queues, snapshot every
+shard's states under their locks, fold per-attribute snapshots through
+the binary :func:`~repro.service.sharding.merge_tree`, and rebind the
+result into a persistent per-round server so the incremental posterior
+cache survives re-merges — an unchanged round skips its solves, a grown
+round warm-starts EM. Solves fan out per home shard through
+:func:`~repro.protocol.server.estimate_rounds` with ``on_error="return"``,
+so one empty attribute reports a structured error instead of hiding every
+other attribute's result.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.engine.backend import ComputeBackend, make_backend
+from repro.protocol.codecs import codec_for_estimator
+from repro.protocol.frames import FrameBlock, is_frame, iter_frame_blocks
+from repro.protocol.messages import FeedGroup, decode_feed_grouped
+from repro.protocol.server import (
+    CollectionServer,
+    EstimateFailure,
+    estimate_rounds,
+)
+from repro.service.config import ServiceConfig
+from repro.service.sharding import HashRing, merge_tree
+from repro.tasks.session import Session
+
+__all__ = ["ServiceOverloadError", "ShardAggregator", "ShardedCollector"]
+
+
+class ServiceOverloadError(RuntimeError):
+    """An upload was rejected whole because a shard queue is full (429)."""
+
+
+def _jsonify_estimate(value: Any) -> Any:
+    """JSON-safe form of one attribute's reconstruction."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonify_estimate(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+@dataclass
+class _ShardCounters:
+    """Mutable ingest counters, updated by the shard's worker thread."""
+
+    blocks: int = 0
+    reports: int = 0
+    errors: int = 0
+    last_error: str | None = None
+    ingest_seconds: float = 0.0
+
+
+class ShardAggregator:
+    """One shard: a bounded block queue, a worker thread, and its servers."""
+
+    def __init__(self, shard_id: int, config: ServiceConfig) -> None:
+        self.shard_id = int(shard_id)
+        self._config = config
+        spec = config.backend_spec(self.shard_id)
+        self.backend: ComputeBackend | None = (
+            None if spec is None else make_backend(spec)
+        )
+        self._queue: queue.Queue[tuple[str, FrameBlock | FeedGroup] | None] = (
+            queue.Queue(maxsize=config.queue_depth)
+        )
+        self._servers: dict[tuple[str, str], CollectionServer] = {}
+        self._servers_lock = threading.Lock()
+        self._counters = _ShardCounters()
+        self._worker = threading.Thread(
+            target=self._drain, name=f"repro-shard-{shard_id}", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission (called from the collector's submit thread) ------------
+    def free_slots(self) -> int:
+        """Queue slots currently open. Only workers free slots, so a
+        capacity observed by the single submitting thread cannot shrink
+        before its puts land."""
+        return self._queue.maxsize - self._queue.qsize()
+
+    def enqueue(self, block: FrameBlock | FeedGroup, round_id: str) -> None:
+        try:
+            self._queue.put_nowait((round_id, block))
+        except queue.Full:
+            # The collector checks capacity first; reaching this means the
+            # all-or-nothing contract was violated upstream.
+            raise ServiceOverloadError(
+                f"shard {self.shard_id} queue overflowed past its capacity check"
+            ) from None
+
+    # -- worker ------------------------------------------------------------
+    def _server_for(self, round_id: str, attr: str) -> CollectionServer:
+        key = (round_id, attr)
+        with self._servers_lock:
+            server = self._servers.get(key)
+            if server is None:
+                choice = self._config.planned.choice_for(attr)
+                server = CollectionServer.for_estimator(
+                    round_id,
+                    choice.make(),
+                    attr=attr,
+                    mechanism=choice.mechanism,
+                    incremental=False,
+                )
+                self._servers[key] = server
+        return server
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            round_id, block = item
+            started = time.perf_counter()
+            try:
+                group = block.materialize() if isinstance(block, FrameBlock) else block
+                server = self._server_for(round_id, group.attr)
+                self._counters.reports += server._ingest_group(group)
+                self._counters.blocks += 1
+            except Exception as exc:
+                # A block that validated at submit time but fails to fold
+                # (e.g. out-of-domain reports) is dropped and surfaced via
+                # /statz rather than killing the worker.
+                self._counters.errors += 1
+                self._counters.last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self._counters.ingest_seconds += time.perf_counter() - started
+                self._queue.task_done()
+
+    # -- merge-tier views --------------------------------------------------
+    def flush(self) -> None:
+        """Block until every enqueued block has been folded in."""
+        self._queue.join()
+
+    def snapshot(self, round_id: str) -> dict[str, dict]:
+        """Serialized per-attribute server states for one round."""
+        with self._servers_lock:
+            servers = [
+                server
+                for (rid, _), server in self._servers.items()
+                if rid == round_id
+            ]
+        return {server.attr: server.to_state() for server in servers}
+
+    def rounds(self) -> set[str]:
+        with self._servers_lock:
+            return {rid for rid, _ in self._servers}
+
+    def stats(self) -> dict[str, Any]:
+        c = self._counters
+        return {
+            "shard": self.shard_id,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+            "blocks_ingested": c.blocks,
+            "reports_ingested": c.reports,
+            "ingest_errors": c.errors,
+            "last_error": c.last_error,
+            "ingest_seconds": round(c.ingest_seconds, 6),
+            "backend": None if self.backend is None else self.backend.name,
+        }
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._worker.join(timeout=10.0)
+
+
+class ShardedCollector:
+    """Routes uploads across shard aggregators and merges their answers."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.planned = config.planned
+        self._attrs = tuple(a.name for a in config.plan.attributes)
+        self._expected_codec = {
+            name: codec_for_estimator(est)
+            for name, est in self.planned.make_estimators().items()
+        }
+        self.ring = HashRing(config.n_shards)
+        self.shards = [
+            ShardAggregator(index, config) for index in range(config.n_shards)
+        ]
+        # Merge tier: per-round persistent servers whose posterior caches
+        # survive re-merges (rebind_estimator), giving warm starts.
+        self._merged: dict[str, dict[str, CollectionServer]] = {}
+        self._merge_lock = threading.Lock()
+        self._merge_seconds: list[float] = []
+        self._closed = False
+
+    # -- validation + routing ----------------------------------------------
+    def _check_block(self, attr: str, mechanism: str, round_id: str) -> None:
+        if attr not in self._expected_codec:
+            raise ValueError(
+                f"plan declares no attribute {attr!r}; "
+                f"available: {sorted(self._expected_codec)}"
+            )
+        expected = self._expected_codec[attr].name
+        if mechanism != expected:
+            raise ValueError(
+                f"attribute {attr!r}: feed carries {mechanism!r} payloads, "
+                f"plan estimator expects {expected!r}"
+            )
+        if not round_id:
+            raise ValueError("round id must be non-empty")
+
+    def submit_feed(self, data: bytes | str, round_id: str) -> int:
+        """Validate one upload and enqueue its blocks; returns the report
+        count accepted. All-or-nothing: raises ``ValueError`` (bad feed) or
+        :class:`ServiceOverloadError` (a full shard queue) with no block
+        enqueued."""
+        if self._closed:
+            raise RuntimeError("collector is closed")
+        batches: list[tuple[int, FrameBlock | FeedGroup]] = []
+        total = 0
+        if isinstance(data, (bytes, bytearray, memoryview)) and is_frame(bytes(data)):
+            for block in iter_frame_blocks(bytes(data), expected_round=round_id):
+                self._check_block(block.attr, block.mechanism, block.round_id)
+                batches.append((self.ring.shard_for(round_id, block.attr), block))
+                total += block.n
+        else:
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                data = bytes(data).decode("utf-8")
+            _, groups = decode_feed_grouped(data, expected_round=round_id)
+            for attr, group in groups.items():
+                self._check_block(attr, group.mechanism, round_id)
+                batches.append((self.ring.shard_for(round_id, attr), group))
+                total += group.n
+        if not batches:
+            raise ValueError("feed carries no report blocks")
+        demand: dict[int, int] = {}
+        for shard_id, _ in batches:
+            demand[shard_id] = demand.get(shard_id, 0) + 1
+        for shard_id, needed in demand.items():
+            if needed > self.config.queue_depth:
+                # No amount of retrying can make this feed fit: reject it
+                # as malformed-for-this-deployment, not as backpressure.
+                raise ValueError(
+                    f"feed routes {needed} blocks to shard {shard_id} but "
+                    f"queue_depth is {self.config.queue_depth}; split the "
+                    f"upload or raise --queue-depth"
+                )
+            if self.shards[shard_id].free_slots() < needed:
+                raise ServiceOverloadError(
+                    f"shard {shard_id} ingest queue is full "
+                    f"({needed} blocks pending, "
+                    f"{self.shards[shard_id].free_slots()} slots free); retry"
+                )
+        for shard_id, block in batches:
+            self.shards[shard_id].enqueue(block, round_id)
+        return total
+
+    def flush(self) -> None:
+        """Drain every shard queue (all accepted blocks folded in)."""
+        for shard in self.shards:
+            shard.flush()
+
+    # -- merge + estimate tier ---------------------------------------------
+    def _merge_round(self, round_id: str) -> dict[str, CollectionServer]:
+        """Snapshot shards and fold this round's state, attr by attr."""
+        snapshots = [shard.snapshot(round_id) for shard in self.shards]
+        if not any(snapshots):
+            raise LookupError(f"no reports ever accepted for round {round_id!r}")
+        merged = self._merged.setdefault(round_id, {})
+        for attr in self._attrs:
+            states = [snap[attr] for snap in snapshots if attr in snap]
+            if states:
+                folded = merge_tree(
+                    [CollectionServer.from_state(state) for state in states]
+                )
+                estimator = folded.estimator
+            else:
+                # Declared but never reported: a fresh estimator makes the
+                # solve fail with the round's EmptyAggregateError.
+                estimator = self.planned.choice_for(attr).make()
+            server = merged.get(attr)
+            if server is None:
+                merged[attr] = CollectionServer.for_estimator(
+                    round_id,
+                    estimator,
+                    attr=attr,
+                    mechanism=self.planned.choice_for(attr).mechanism,
+                    incremental=self.config.incremental,
+                )
+            else:
+                server.rebind_estimator(estimator)
+        return merged
+
+    def _solve(self, merged: dict[str, CollectionServer], round_id: str) -> dict[str, Any]:
+        """Fan solves out per home shard, on that shard's backend."""
+        by_shard: dict[int, dict[str, CollectionServer]] = {}
+        for attr, server in merged.items():
+            home = self.ring.shard_for(round_id, attr)
+            by_shard.setdefault(home, {})[attr] = server
+        results: dict[str, Any] = {}
+        for shard_id in sorted(by_shard):
+            results.update(
+                estimate_rounds(
+                    by_shard[shard_id],
+                    on_error="return",
+                    backend=self.shards[shard_id].backend,
+                )
+            )
+        return {attr: results[attr] for attr in merged}
+
+    def estimate(self, round_id: str) -> dict[str, Any]:
+        """Drain, merge, and solve one round; returns a JSON-safe summary.
+
+        The result maps ``"estimates"`` per attribute (``None`` where that
+        attribute's solve failed, with the failure under ``"errors"``) and
+        carries the full plan-level ``"report"`` when every attribute
+        solved. Raises ``LookupError`` for a round no upload ever touched.
+        """
+        self.flush()
+        with self._merge_lock:
+            started = time.perf_counter()
+            merged = self._merge_round(round_id)
+            self._merge_seconds.append(time.perf_counter() - started)
+            solved = self._solve(merged, round_id)
+            estimates = {
+                attr: value
+                for attr, value in solved.items()
+                if not isinstance(value, EstimateFailure)
+            }
+            errors = {
+                attr: value.to_dict()
+                for attr, value in solved.items()
+                if isinstance(value, EstimateFailure)
+            }
+            report = None
+            if not errors:
+                session = Session.from_estimators(
+                    self.config.plan,
+                    {attr: merged[attr].estimator for attr in self._attrs},
+                    planned=self.planned,
+                )
+                report = session.results(precomputed=estimates).to_dict()
+            return {
+                "round": round_id,
+                "n_reports": {
+                    attr: merged[attr].n_reports for attr in self._attrs
+                },
+                "estimates": {
+                    attr: _jsonify_estimate(estimates.get(attr))
+                    for attr in self._attrs
+                },
+                "errors": errors,
+                "report": report,
+            }
+
+    # -- observability -----------------------------------------------------
+    def rounds(self) -> list[str]:
+        seen: set[str] = set()
+        for shard in self.shards:
+            seen |= shard.rounds()
+        return sorted(seen)
+
+    def stats(self) -> dict[str, Any]:
+        merge_ms = sorted(s * 1000.0 for s in self._merge_seconds)
+        return {
+            "n_shards": len(self.shards),
+            "rounds": self.rounds(),
+            "shards": [shard.stats() for shard in self.shards],
+            "merges": len(merge_ms),
+            "merge_ms_max": round(merge_ms[-1], 3) if merge_ms else None,
+            "merge_ms_last": (
+                round(self._merge_seconds[-1] * 1000.0, 3) if merge_ms else None
+            ),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for shard in self.shards:
+                shard.close()
+
+    def __enter__(self) -> "ShardedCollector":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

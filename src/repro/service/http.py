@@ -1,0 +1,321 @@
+"""Asyncio HTTP/1.1 front end for the sharded collection service.
+
+A deliberately small server on ``asyncio.start_server`` — the wire
+surface is four routes, so a framework would be all dependency and no
+leverage:
+
+* ``POST /v1/rounds/{round}/reports`` — upload one RPF2 frame
+  (``application/x-repro-frame`` / ``application/octet-stream``) or
+  JSON-lines batch (anything else). ``202`` with the accepted report
+  count, ``400`` on a malformed or mismatched feed, ``413`` past the
+  body limit, ``429`` when backpressure rejects the upload whole.
+* ``POST`` (or ``GET``) ``/v1/rounds/{round}/estimate`` — drain, merge,
+  and solve the round. ``200`` with per-attribute estimates/errors and
+  the plan-level report, ``404`` for a round no upload ever touched.
+* ``GET /healthz`` — liveness.
+* ``GET /statz`` — per-shard counters, queue depths, merge latencies.
+
+The event loop only parses requests and writes responses. Everything
+that can block — feed validation + enqueue, and the merge/solve of an
+estimate — is pushed off the loop: submissions onto a dedicated
+single-thread executor (serializing them is what makes the collector's
+all-or-nothing capacity check sound), solves onto a separate executor so
+a long EM run cannot stall ingest. ``repro.devtools`` rule SVC001 lints
+this property.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable
+
+from repro.service.config import ServiceConfig
+from repro.service.core import ServiceOverloadError, ShardedCollector
+
+__all__ = ["ReportService", "ServiceHandle", "serve", "start_local_service"]
+
+_FRAME_TYPES = ("application/x-repro-frame", "application/octet-stream")
+_MAX_HEADER_BYTES = 32 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, payload: dict[str, Any], *, retry_after: int | None = None) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    if retry_after is not None:
+        headers.append(f"Retry-After: {retry_after}")
+    headers.append("Connection: keep-alive")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+
+
+class ReportService:
+    """The asyncio server wrapping one :class:`ShardedCollector`."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.collector = ShardedCollector(config)
+        # One thread: submissions are serialized, so the collector's
+        # capacity check stays all-or-nothing (workers only free slots).
+        self._submit_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-submit"
+        )
+        # Solves run elsewhere so a slow merge/EM never blocks ingest.
+        self._solve_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-solve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._submit_pool.shutdown(wait=True)
+        self._solve_pool.shutdown(wait=True)
+        self.collector.close()
+
+    # -- request plumbing --------------------------------------------------
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request head too large") from None
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}") from None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte upload limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    writer.write(_response(exc.status, {"error": str(exc)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                try:
+                    status, payload, retry = await self._route(
+                        method, target, headers, body
+                    )
+                except _HttpError as exc:
+                    status, payload, retry = exc.status, {"error": str(exc)}, None
+                except Exception as exc:  # never kill the connection loop
+                    status, payload, retry = (
+                        500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        None,
+                    )
+                writer.write(_response(status, payload, retry_after=retry))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    # -- routes ------------------------------------------------------------
+    def _round_route(self, target: str) -> tuple[str, str] | None:
+        parts = target.split("?", 1)[0].strip("/").split("/")
+        if len(parts) == 4 and parts[0] == "v1" and parts[1] == "rounds":
+            return parts[2], parts[3]
+        return None
+
+    async def _route(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, Any], int | None]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            return 200, {"status": "ok", "rounds": self.collector.rounds()}, None
+        if path == "/statz":
+            if method != "GET":
+                raise _HttpError(405, "statz is GET-only")
+            return 200, self.collector.stats(), None
+        matched = self._round_route(target)
+        if matched is None:
+            raise _HttpError(404, f"no route {path!r}")
+        round_id, action = matched
+        if action == "reports":
+            if method != "POST":
+                raise _HttpError(405, "reports accepts POST only")
+            return await self._handle_reports(round_id, headers, body)
+        if action == "estimate":
+            if method not in ("POST", "GET"):
+                raise _HttpError(405, "estimate accepts POST or GET")
+            return await self._handle_estimate(round_id)
+        raise _HttpError(404, f"no round action {action!r}")
+
+    async def _handle_reports(
+        self, round_id: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, Any], int | None]:
+        if not body:
+            raise _HttpError(400, "upload body is empty")
+        content_type = headers.get("content-type", "").split(";")[0].strip()
+        feed: bytes | str = body
+        if content_type and content_type not in _FRAME_TYPES:
+            try:
+                feed = body.decode("utf-8")
+            except UnicodeDecodeError:
+                raise _HttpError(
+                    400, f"{content_type!r} body is not valid UTF-8"
+                ) from None
+        loop = asyncio.get_running_loop()
+        try:
+            accepted = await loop.run_in_executor(
+                self._submit_pool, self.collector.submit_feed, feed, round_id
+            )
+        except ServiceOverloadError as exc:
+            return 429, {"error": str(exc)}, 1
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        return 202, {"round": round_id, "accepted": accepted}, None
+
+    async def _handle_estimate(
+        self, round_id: str
+    ) -> tuple[int, dict[str, Any], int | None]:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._solve_pool, self.collector.estimate, round_id
+            )
+        except LookupError as exc:
+            raise _HttpError(404, str(exc)) from None
+        return 200, result, None
+
+
+async def serve(config: ServiceConfig, *, ready: Callable[[str, int], Any] | None = None) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry point)."""
+    service = ReportService(config)
+    host, port = await service.start()
+    if ready is not None:
+        ready(host, port)
+    try:
+        assert service._server is not None
+        await service._server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+
+
+class ServiceHandle:
+    """A service running on a background event-loop thread (tests, examples).
+
+    Use :func:`start_local_service`; close with :meth:`close` (or as a
+    context manager). ``host``/``port`` are the bound address.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = ReportService(config)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self.host: str = ""
+        self.port: int = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("service failed to start within 10s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            self.host, self.port = await self.service.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.service.stop())
+        self._loop.close()
+
+    @property
+    def collector(self) -> ShardedCollector:
+        return self.service.collector
+
+    def run(self, coro: Awaitable[Any]) -> Any:
+        """Run a coroutine on the service loop from the calling thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def close(self) -> None:
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def start_local_service(config: ServiceConfig) -> ServiceHandle:
+    """Start a service on a background thread; returns its handle."""
+    return ServiceHandle(config)

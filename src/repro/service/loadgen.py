@@ -1,0 +1,278 @@
+"""Load generation: millions of simulated clients against the service.
+
+The harness keeps the client side honest *and* fast: reports are
+synthesized in vectorized batches through the same
+:class:`~repro.tasks.session.Session` client path real deployments use
+(``privatize`` → ``to_feed``), so every upload is a genuine RPF2 frame —
+then fanned out by concurrent asyncio uploaders over raw HTTP/1.1
+keep-alive connections (stdlib only, same as the server). One "client"
+is one user's report inside a batch; a million clients is a few thousand
+frames, which is exactly the shape a real aggregator sees.
+
+Latency is recorded per upload (request write → response parsed) and
+summarized as p50/p95/p99 alongside sustained reports/sec;
+:func:`run_load` returns a :class:`LoadReport`, and
+``benchmarks/bench_perf_service.py`` checks the numbers into
+``benchmarks/BENCH_service.json``.
+
+Backpressure is part of the contract: a 429 is counted, backed off, and
+the frame is retried — never dropped — so the total accepted report
+count is deterministic even when the ingest tier throttles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.tasks.plan import AnalysisPlan
+from repro.tasks.planner import PlannedAnalysis, plan_analysis
+from repro.tasks.session import Session
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "LoadReport",
+    "http_request",
+    "percentile",
+    "run_load",
+    "synthesize_frames",
+]
+
+
+def synthesize_frames(
+    plan: AnalysisPlan,
+    round_id: str,
+    n_users: int,
+    *,
+    batch_size: int = 10_000,
+    rng: RngLike = None,
+    planned: PlannedAnalysis | None = None,
+    data: dict[str, np.ndarray] | None = None,
+) -> Iterator[tuple[bytes, int]]:
+    """Yield ``(frame_bytes, n_reports)`` uploads for ``n_users`` clients.
+
+    Values are drawn uniformly over each attribute's domain unless
+    ``data`` supplies them (one array per attribute, ``n_users`` long).
+    Batches are generated lazily so a million-user run never holds more
+    than one batch of raw values in memory.
+    """
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    gen = as_generator(rng)
+    if planned is None:
+        planned = plan_analysis(plan)
+    session = Session(plan, planned=planned)  # client role: privatize only
+    for start in range(0, n_users, batch_size):
+        size = min(batch_size, n_users - start)
+        batch = {}
+        for spec in plan.attributes:
+            if data is not None:
+                batch[spec.name] = np.asarray(
+                    data[spec.name][start : start + size], dtype=np.float64
+                )
+            else:
+                batch[spec.name] = gen.uniform(spec.low, spec.high, size=size)
+        reports = session.privatize(batch, rng=gen)
+        if not reports:
+            continue
+        feed = session.to_feed(reports, round_id, format="frame")
+        assert isinstance(feed, bytes)
+        yield feed, size
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a latency sample."""
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run, JSON-ready via :meth:`to_dict`."""
+
+    n_users: int
+    n_uploads: int
+    n_reports_accepted: int
+    elapsed_seconds: float
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+    n_throttled: int = 0
+    n_errors: int = 0
+
+    @property
+    def reports_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return float("nan")
+        return self.n_reports_accepted / self.elapsed_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "n_users": self.n_users,
+            "n_uploads": self.n_uploads,
+            "n_reports_accepted": self.n_reports_accepted,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "reports_per_second": round(self.reports_per_second, 1),
+            "latency_ms": {
+                "p50": round(percentile(self.latencies_ms, 50), 3),
+                "p95": round(percentile(self.latencies_ms, 95), 3),
+                "p99": round(percentile(self.latencies_ms, 99), 3),
+            },
+            "n_throttled": self.n_throttled,
+            "n_errors": self.n_errors,
+        }
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    body: bytes = b"",
+    content_type: str = "application/x-repro-frame",
+    reader: asyncio.StreamReader | None = None,
+    writer: asyncio.StreamWriter | None = None,
+) -> tuple[int, bytes, asyncio.StreamReader, asyncio.StreamWriter]:
+    """One HTTP/1.1 request over a (reusable) keep-alive connection.
+
+    Returns ``(status, body, reader, writer)``; pass the reader/writer
+    back in to reuse the connection. The stdlib-only counterpart of the
+    server's handler — the loadgen's whole client stack.
+    """
+    if reader is None or writer is None:
+        reader, writer = await asyncio.open_connection(host, port)
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload, reader, writer
+
+
+async def _uploader(
+    host: str,
+    port: int,
+    path: str,
+    frames: "asyncio.Queue[tuple[bytes, int] | None]",
+    report: LoadReport,
+    *,
+    max_retries: int = 200,
+) -> None:
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    try:
+        while True:
+            item = await frames.get()
+            if item is None:
+                return
+            frame, _n = item
+            for attempt in range(max_retries):
+                started = time.perf_counter()
+                status, payload, reader, writer = await http_request(
+                    host, port, "POST", path, body=frame,
+                    reader=reader, writer=writer,
+                )
+                report.latencies_ms.append(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                if status == 202:
+                    report.n_uploads += 1
+                    report.n_reports_accepted += json.loads(payload)["accepted"]
+                    break
+                if status == 429:
+                    # Backpressure: count it, give the shard workers a
+                    # beat to drain, retry the same frame.
+                    report.n_throttled += 1
+                    await asyncio.sleep(0.005 * min(attempt + 1, 10))
+                    continue
+                report.n_errors += 1
+                break
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _run_load_async(
+    host: str,
+    port: int,
+    round_id: str,
+    frames: Iterable[tuple[bytes, int]],
+    *,
+    concurrency: int,
+) -> LoadReport:
+    report = LoadReport(
+        n_users=0, n_uploads=0, n_reports_accepted=0, elapsed_seconds=0.0
+    )
+    path = f"/v1/rounds/{round_id}/reports"
+    queue: asyncio.Queue[tuple[bytes, int] | None] = asyncio.Queue(
+        maxsize=2 * concurrency
+    )
+    uploaders = [
+        asyncio.ensure_future(
+            _uploader(host, port, path, queue, report)
+        )
+        for _ in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for frame, n in frames:
+        report.n_users += n
+        await queue.put((frame, n))
+    for _ in uploaders:
+        await queue.put(None)
+    await asyncio.gather(*uploaders)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def run_load(
+    host: str,
+    port: int,
+    plan: AnalysisPlan,
+    round_id: str,
+    n_users: int,
+    *,
+    batch_size: int = 10_000,
+    concurrency: int = 8,
+    rng: RngLike = None,
+    planned: PlannedAnalysis | None = None,
+) -> LoadReport:
+    """Synthesize ``n_users`` clients and upload them concurrently.
+
+    Drives :func:`synthesize_frames` through ``concurrency`` keep-alive
+    uploader connections against a running service; blocks until every
+    frame is accepted and returns the :class:`LoadReport`. Frame
+    synthesis is streamed through a bounded queue, so generator and
+    uploaders overlap without ever materializing the full feed.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    frames = synthesize_frames(
+        plan, round_id, n_users, batch_size=batch_size, rng=rng, planned=planned
+    )
+    return asyncio.run(
+        _run_load_async(host, port, round_id, frames, concurrency=concurrency)
+    )

@@ -388,6 +388,39 @@ class Session:
             session._estimators[name] = rebuilt
         return session
 
+    @classmethod
+    def from_estimators(
+        cls,
+        plan: AnalysisPlan,
+        estimators: Mapping[str, Estimator],
+        *,
+        planned: PlannedAnalysis | None = None,
+    ) -> "Session":
+        """Adopt already-aggregated estimators as a session's state.
+
+        The merge tier of a sharded deployment folds shard snapshots into
+        one estimator per attribute; this wraps them back into a session so
+        :meth:`results` can answer the plan without re-serializing state.
+        Each estimator must match the configuration the plan resolves to
+        for its attribute (same check as :meth:`from_state`); the session
+        shares the passed aggregation state rather than copying it.
+        """
+        session = cls(plan, planned=planned)
+        if set(estimators) != set(session.attributes):
+            raise ValueError(
+                f"estimators cover attributes {sorted(estimators)}, plan "
+                f"declares {sorted(session.attributes)}"
+            )
+        for name, fresh in session._estimators.items():
+            adopted = estimators[name]
+            if adopted._params() != fresh._params():
+                raise ValueError(
+                    f"attribute {name!r}: estimator is configured differently "
+                    "than this plan resolves to"
+                )
+            session._estimators[name] = adopted
+        return session
+
     # -- results -----------------------------------------------------------
     def _estimate(self, name: str):
         try:

@@ -534,3 +534,124 @@ class TestSuppression:
     def test_syntax_error_becomes_parse_finding(self, tmp_path):
         findings, _ = lint_source(tmp_path, "def broken(:\n")
         assert codes(findings) == ["PARSE"]
+
+
+# ----------------------------------------------------------------------
+# SVC001 — async service handlers must not block the event loop
+# ----------------------------------------------------------------------
+
+ASYNC_SLEEP_BAD = (
+    "import time\n"
+    "async def handle(request):\n"
+    "    time.sleep(0.1)\n"
+    "    return request\n"
+)
+
+ASYNC_SOLVE_BAD = (
+    "async def handle(collector, round_id):\n"
+    "    return collector.estimate(round_id)\n"
+)
+
+
+class TestAsyncBlockingRule:
+    def test_time_sleep_in_async_handler_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, ASYNC_SLEEP_BAD, rel="service/handlers.py"
+        )
+        assert codes(findings) == ["SVC001"]
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_asyncio_sleep_is_fine(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import asyncio\n"
+            "async def handle(request):\n"
+            "    await asyncio.sleep(0.1)\n",
+            rel="service/handlers.py",
+        )
+        assert findings == []
+
+    def test_direct_estimate_call_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, ASYNC_SOLVE_BAD, rel="service/handlers.py"
+        )
+        assert codes(findings) == ["SVC001"]
+        assert "run_in_executor" in findings[0].message
+
+    def test_estimate_rounds_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.protocol import estimate_rounds\n"
+            "async def handle(servers):\n"
+            "    return estimate_rounds(servers)\n",
+            rel="service/handlers.py",
+        )
+        assert codes(findings) == ["SVC001"]
+
+    def test_offloaded_solve_is_exempt(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import asyncio\n"
+            "async def handle(pool, collector, round_id):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    return await loop.run_in_executor(\n"
+            "        pool, lambda: collector.estimate(round_id)\n"
+            "    )\n",
+            rel="service/handlers.py",
+        )
+        assert findings == []
+
+    def test_to_thread_offload_is_exempt(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import asyncio\n"
+            "async def handle(collector, round_id):\n"
+            "    return await asyncio.to_thread(collector.estimate, round_id)\n",
+            rel="service/handlers.py",
+        )
+        assert findings == []
+
+    def test_sync_socket_use_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import socket\n"
+            "async def probe(host, port):\n"
+            "    return socket.create_connection((host, port))\n",
+            rel="service/handlers.py",
+        )
+        assert codes(findings) == ["SVC001"]
+        assert "open_connection" in findings[0].message
+
+    def test_nested_sync_helper_is_exempt(self, tmp_path):
+        """A sync def inside the coroutine is executor fodder, not loop code."""
+        findings, _ = lint_source(
+            tmp_path,
+            "import time\n"
+            "async def handle(pool, loop):\n"
+            "    def solve():\n"
+            "        time.sleep(0.01)\n"
+            "        return 1\n"
+            "    return await loop.run_in_executor(pool, solve)\n",
+            rel="service/handlers.py",
+        )
+        assert findings == []
+
+    def test_sync_functions_not_checked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import time\n"
+            "def drain():\n"
+            "    time.sleep(0.1)\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_non_service_modules_not_checked(self, tmp_path):
+        findings, _ = lint_source(tmp_path, ASYNC_SLEEP_BAD, rel="engine/jobs.py")
+        assert findings == []
+
+    def test_service_test_modules_not_checked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, ASYNC_SOLVE_BAD, rel="service/test_handlers.py"
+        )
+        assert findings == []

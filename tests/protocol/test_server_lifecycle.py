@@ -1,0 +1,200 @@
+"""Concurrency and error-surfacing contracts of the collection server.
+
+The service tier (``repro.service``) ingests on shard worker threads
+while estimates run on a solve pool; these tests pin the primitives
+that make that safe: locked ingest/estimate/merge interleavings,
+``rebind_estimator``, and ``estimate_rounds``'s structured per-key
+failures.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.errors import EmptyAggregateError
+from repro.protocol import CollectionServer, EstimateFailure
+from repro.protocol.server import estimate_rounds
+
+
+def seeded_batches(seed, n_batches=8, n=250, d=32):
+    rng = np.random.default_rng(seed)
+    scratch = CollectionServer("r", "olh", 1.0, d)
+    return [
+        scratch.privatize(rng.integers(0, d, size=n), rng=rng)
+        for _ in range(n_batches)
+    ]
+
+
+class TestConcurrentIngestEstimate:
+    def test_parallel_ingest_matches_sequential(self):
+        batches = seeded_batches(3, n_batches=12)
+        reference = CollectionServer("r", "olh", 1.0, 32)
+        shared = CollectionServer("r", "olh", 1.0, 32)
+        for batch in batches:
+            reference.ingest_reports(batch)
+
+        def worker(part):
+            for batch in part:
+                shared.ingest_reports(batch)
+
+        threads = [
+            threading.Thread(target=worker, args=(batches[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared.n_reports == reference.n_reports
+        # OLH ingest is a float accumulation, so thread order moves the
+        # last bits; the population estimate must agree to rounding.
+        np.testing.assert_allclose(
+            shared.estimate(), reference.estimate(), rtol=1e-10, atol=1e-12
+        )
+
+    def test_estimates_interleaved_with_ingest_never_error(self):
+        """Readers racing writers see *some* consistent prefix, never a
+        torn state or an exception."""
+        batches = seeded_batches(5, n_batches=20, n=200)
+        server = CollectionServer("r", "sw-ems", 1.0, 32)
+        server.ingest_reports(
+            server.privatize(np.random.default_rng(0).random(200))
+        )
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def ingester():
+            scratch = CollectionServer("r", "sw-ems", 1.0, 32)
+            rng = np.random.default_rng(1)
+            try:
+                for _ in range(20):
+                    server.ingest_reports(
+                        scratch.privatize(rng.random(200), rng=rng)
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def estimator():
+            try:
+                while not done.is_set():
+                    estimate = server.estimate()
+                    assert np.all(np.isfinite(estimate))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=ingester)] + [
+            threading.Thread(target=estimator) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert server.n_reports == 200 * 21
+
+    def test_concurrent_merges_do_not_deadlock(self):
+        """Two servers merged in opposite directions concurrently: the
+        lock-ordering in merge() must prevent the classic AB/BA deadlock."""
+        a = CollectionServer("r", "olh", 1.0, 16)
+        b = CollectionServer("r", "olh", 1.0, 16)
+        rng = np.random.default_rng(2)
+        for server in (a, b):
+            server.ingest_reports(
+                server.privatize(rng.integers(0, 16, size=100), rng=rng)
+            )
+        barrier = threading.Barrier(2)
+        errors: list[Exception] = []
+
+        def merge(dst, src):
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(50):
+                    dst.merge(src)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t1 = threading.Thread(target=merge, args=(a, b))
+        t2 = threading.Thread(target=merge, args=(b, a))
+        t1.start(); t2.start()
+        t1.join(timeout=30); t2.join(timeout=30)
+        assert not t1.is_alive() and not t2.is_alive(), "merge deadlocked"
+        assert errors == []
+
+
+class TestRebindEstimator:
+    def test_rebind_keeps_cache_and_swaps_state(self):
+        server = CollectionServer("r", "sw-ems", 1.0, 32)
+        rng = np.random.default_rng(4)
+        server.ingest_reports(server.privatize(rng.random(500), rng=rng))
+        first = server.estimate()
+        assert server._cached is not None
+        # A merged replacement with identical params adopts the posterior.
+        replacement = CollectionServer.from_state(server.to_state())
+        server.rebind_estimator(replacement._estimator)
+        second = server.estimate()
+        np.testing.assert_array_equal(first, second)
+
+    def test_rebind_rejects_different_family(self):
+        sw = CollectionServer("r", "sw-ems", 1.0, 32)
+        olh = CollectionServer("r", "olh", 1.0, 32)
+        with pytest.raises(ValueError, match="cannot rebind"):
+            sw.rebind_estimator(olh._estimator)
+
+
+class TestEstimateRoundsErrors:
+    def build(self, with_empty=True):
+        rng = np.random.default_rng(11)
+        servers = {}
+        for name in ("alpha", "beta"):
+            server = CollectionServer("r", "sw-ems", 1.0, 32, attr=name)
+            server.ingest_reports(server.privatize(rng.random(400), rng=rng))
+            servers[name] = server
+        if with_empty:
+            servers["hollow"] = CollectionServer("r", "sw-ems", 1.0, 32)
+        return servers
+
+    def test_return_mode_surfaces_structured_failures(self):
+        servers = self.build()
+        results = estimate_rounds(servers, on_error="return")
+        assert list(results) == ["alpha", "beta", "hollow"]
+        assert isinstance(results["alpha"], np.ndarray)
+        failure = results["hollow"]
+        assert isinstance(failure, EstimateFailure)
+        assert failure.key == "hollow"
+        assert isinstance(failure.error, EmptyAggregateError)
+        assert "no reports" in failure.message
+        payload = failure.to_dict()
+        assert payload["key"] == "hollow"
+        assert payload["type"] == "EmptyAggregateError"
+        assert "no reports" in payload["message"]
+
+    def test_raise_mode_still_solves_surviving_rounds_first(self):
+        """The failing key must not cost the healthy keys their solve: their
+        posteriors are cached before the raise."""
+        servers = self.build()
+        with pytest.raises(EmptyAggregateError, match="no reports ingested"):
+            estimate_rounds(servers)
+        assert servers["alpha"]._cached is not None
+        assert servers["beta"]._cached is not None
+
+    def test_return_mode_with_no_failures_matches_raise_mode(self):
+        servers = self.build(with_empty=False)
+        returned = estimate_rounds(servers, on_error="return")
+        for server in servers.values():
+            server._cached = None
+            server._cached_key = None
+        raised = estimate_rounds(servers)
+        for name in servers:
+            np.testing.assert_allclose(
+                returned[name], raised[name], rtol=1e-12, atol=1e-14
+            )
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            estimate_rounds(self.build(), on_error="ignore")
+
+    def test_empty_mapping_is_empty_result(self):
+        assert estimate_rounds({}) == {}

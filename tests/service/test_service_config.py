@@ -1,0 +1,71 @@
+"""ServiceConfig validation and per-shard backend selection."""
+
+import pytest
+
+from repro.service import ServiceConfig
+from repro.tasks import AnalysisPlan, AttributeSpec, Distribution, Mean
+
+
+@pytest.fixture(scope="module")
+def plan() -> AnalysisPlan:
+    return AnalysisPlan(
+        epsilon=2.0,
+        attributes=(
+            AttributeSpec("age", low=0.0, high=100.0, d=32),
+            AttributeSpec("income", low=0.0, high=1e5, d=32),
+        ),
+        tasks=(Distribution("age"), Mean("income")),
+    )
+
+
+class TestServiceConfig:
+    def test_defaults(self, plan):
+        config = ServiceConfig(plan=plan)
+        assert config.n_shards == 2
+        assert config.queue_depth >= 1
+        assert config.backend_spec(0) is None
+        assert config.backend_spec(1) is None
+
+    def test_planned_is_resolved_once_and_cached(self, plan):
+        config = ServiceConfig(plan=plan)
+        assert config.planned is config.planned
+        assert set(config.planned.allocation) == {"age", "income"}
+
+    def test_single_backend_spec_applies_to_every_shard(self, plan):
+        config = ServiceConfig(plan=plan, n_shards=3, backends="threaded:2")
+        assert [config.backend_spec(i) for i in range(3)] == ["threaded:2"] * 3
+
+    def test_per_shard_backend_specs(self, plan):
+        config = ServiceConfig(
+            plan=plan, n_shards=2, backends=("numpy", "threaded:2")
+        )
+        assert config.backend_spec(0) == "numpy"
+        assert config.backend_spec(1) == "threaded:2"
+
+    def test_backend_list_length_must_match_shards(self, plan):
+        with pytest.raises(ValueError, match="backends lists 1"):
+            ServiceConfig(plan=plan, n_shards=2, backends=("numpy",))
+
+    def test_backend_spec_bounds_checked(self, plan):
+        config = ServiceConfig(plan=plan, n_shards=2)
+        with pytest.raises(ValueError, match="shard must be"):
+            config.backend_spec(2)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"n_shards": 0}, "n_shards"),
+            ({"queue_depth": 0}, "queue_depth"),
+            ({"max_body_bytes": 0}, "max_body_bytes"),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, plan, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ServiceConfig(plan=plan, **kwargs)
+
+    def test_from_plan_file(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        config = ServiceConfig.from_plan_file(path, n_shards=4)
+        assert config.plan.to_dict() == plan.to_dict()
+        assert config.n_shards == 4
