@@ -1,0 +1,174 @@
+"""Aggregate the checked-in ``BENCH_*.json`` artifacts into one summary.
+
+Every perf benchmark (``bench_perf_*.py``) writes a ``BENCH_<name>.json``
+report with a shared shape: a header (``benchmark``, ``quick``,
+``python``, ``numpy``, ``machine``, ``effective_cores``), per-section
+measurement dicts, and a ``targets`` dict whose ``*_ok`` boolean entries
+are the deterministic gates (``None`` means not measured in that mode).
+
+This collector turns the set of artifacts into:
+
+* ``BENCH_SUMMARY.md`` — a markdown table of gate status and headline
+  speedup/ratio numbers per benchmark, for humans and the CI job summary;
+* ``BENCH_SUMMARY.json`` — the same rollup machine-readable, so a perf
+  trajectory can be tracked across commits.
+
+Exit status is 0 iff every measured gate in every artifact holds, so CI
+can run it right after the ``--quick`` smoke benchmarks.
+
+Run:  python benchmarks/collect_bench.py [--dir benchmarks]
+          [--out-md benchmarks/BENCH_SUMMARY.md]
+          [--out-json benchmarks/BENCH_SUMMARY.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+HEADER_KEYS = ("python", "numpy", "machine", "effective_cores")
+
+
+def _headline_metrics(report: dict, prefix: str = "") -> list[tuple[str, float]]:
+    """Numeric speedup/ratio leaves, dotted-path-labelled, in order."""
+    out: list[tuple[str, float]] = []
+    for key, value in report.items():
+        if key == "targets":
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.extend(_headline_metrics(value, prefix=f"{path}."))
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            # token match: "iterations" must not count as a "ratio"
+            and {"speedup", "ratio"} & set(key.split("_"))
+        ):
+            out.append((path, float(value)))
+    return out
+
+
+def summarize_report(path: Path) -> dict:
+    report = json.loads(path.read_text())
+    targets = report.get("targets", {})
+    gates = {
+        key: value
+        for key, value in targets.items()
+        if key.endswith("_ok") and (value is None or isinstance(value, bool))
+    }
+    failed = sorted(key for key, value in gates.items() if value is False)
+    unmeasured = sorted(key for key, value in gates.items() if value is None)
+    passed = sum(1 for value in gates.values() if value is True)
+    return {
+        "file": path.name,
+        "benchmark": report.get("benchmark", path.stem),
+        "quick": bool(report.get("quick", False)),
+        "header": {key: report.get(key) for key in HEADER_KEYS},
+        "gates_passed": passed,
+        "gates_total": len(gates),
+        "gates_failed": failed,
+        "gates_unmeasured": unmeasured,
+        "headline": [
+            {"metric": name, "value": value}
+            for name, value in _headline_metrics(report)
+        ],
+        "ok": not failed,
+    }
+
+
+def _short_label(metric: str) -> str:
+    """Leaf key, with its section kept when the leaf alone is ambiguous."""
+    parts = metric.split(".")
+    if parts[-1] in {"speedup", "ratio"} and len(parts) > 1:
+        return ".".join(parts[-2:])
+    return parts[-1]
+
+
+def render_markdown(summaries: list[dict]) -> str:
+    lines = [
+        "# Benchmark summary",
+        "",
+        "Aggregated from the `BENCH_*.json` artifacts by "
+        "`benchmarks/collect_bench.py`. Gates are the `*_ok` entries each "
+        "benchmark's `targets` dict measured; `quick` rows come from the "
+        "CI smoke sizes, full rows from the checked-in full runs.",
+        "",
+        "| benchmark | mode | gates | failed | headline |",
+        "|---|---|---|---|---|",
+    ]
+    for s in summaries:
+        mode = "quick" if s["quick"] else "full"
+        gates = f"{s['gates_passed']}/{s['gates_total']}"
+        if s["gates_unmeasured"]:
+            gates += f" ({len(s['gates_unmeasured'])} n/a)"
+        failed = ", ".join(s["gates_failed"]) or "—"
+        headline = (
+            "; ".join(
+                f"{_short_label(h['metric'])}="
+                f"{h['value']:g}{'x' if 'speedup' in h['metric'] else ''}"
+                for h in s["headline"][:3]
+            )
+            or "—"
+        )
+        lines.append(
+            f"| {s['benchmark']} | {mode} | {gates} | {failed} | {headline} |"
+        )
+    envs = {tuple(s["header"].items()) for s in summaries}
+    if len(envs) == 1 and summaries:
+        header = summaries[0]["header"]
+        lines += [
+            "",
+            f"Environment: python {header['python']}, numpy "
+            f"{header['numpy']}, {header['machine']}, "
+            f"{header['effective_cores']} effective cores.",
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir", default="benchmarks", help="directory holding BENCH_*.json"
+    )
+    parser.add_argument("--out-md", default="benchmarks/BENCH_SUMMARY.md")
+    parser.add_argument("--out-json", default="benchmarks/BENCH_SUMMARY.json")
+    args = parser.parse_args()
+
+    bench_dir = Path(args.dir)
+    artifacts = sorted(bench_dir.glob("BENCH_*.json"))
+    artifacts = [
+        p for p in artifacts if p.name not in {"BENCH_SUMMARY.json"}
+    ]
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {bench_dir}")
+        return 1
+
+    summaries = [summarize_report(path) for path in artifacts]
+    rollup = {
+        "artifacts": len(summaries),
+        "all_ok": all(s["ok"] for s in summaries),
+        "gates_passed": sum(s["gates_passed"] for s in summaries),
+        "gates_total": sum(s["gates_total"] for s in summaries),
+        "benchmarks": summaries,
+    }
+
+    out_json = Path(args.out_json)
+    out_json.parent.mkdir(parents=True, exist_ok=True)
+    out_json.write_text(json.dumps(rollup, indent=2) + "\n")
+    out_md = Path(args.out_md)
+    out_md.write_text(render_markdown(summaries))
+
+    for s in summaries:
+        status = "ok" if s["ok"] else f"FAILED: {', '.join(s['gates_failed'])}"
+        print(
+            f"{s['benchmark']:>10}  {s['gates_passed']}/{s['gates_total']} "
+            f"gates  {status}"
+        )
+    print(f"wrote {out_md} and {out_json}")
+    return 0 if rollup["all_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

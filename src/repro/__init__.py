@@ -69,8 +69,13 @@ from repro.metrics import (
 )
 from repro.multidim import MultiAttributeSW
 from repro.postprocess import norm_sub
-from repro.privacy import audit_budget
+from repro.privacy import audit_budget, audit_stream_budget
 from repro.protocol import CollectionServer, PlanServer, SWClient, SWServer
+from repro.streaming import (
+    DecayedState,
+    SlidingWindowState,
+    StreamingCollector,
+)
 from repro.tasks import (
     AnalysisPlan,
     AnalysisReport,
@@ -158,5 +163,9 @@ __all__ = [
     "plan_analysis",
     "load_plan",
     "audit_budget",
+    "audit_stream_budget",
+    "StreamingCollector",
+    "SlidingWindowState",
+    "DecayedState",
     "__version__",
 ]

@@ -11,6 +11,14 @@ Three pieces every method in the package plugs into:
   registered family, with capability metadata for runners and CLIs.
 """
 
+from repro.api.arithmetic import (
+    add_payload,
+    scale_payload,
+    scale_state,
+    subtract_payload,
+    subtract_state,
+    supports_state_arithmetic,
+)
 from repro.api.base import (
     Estimator,
     Mechanism,
@@ -37,6 +45,12 @@ __all__ = [
     "Estimator",
     "mechanism_spec",
     "mechanism_from_spec",
+    "subtract_state",
+    "scale_state",
+    "add_payload",
+    "subtract_payload",
+    "scale_payload",
+    "supports_state_arithmetic",
     "EMConfig",
     "EmptyAggregateError",
     "DEFAULT_MAX_ITER",

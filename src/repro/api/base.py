@@ -134,6 +134,16 @@ class Estimator(abc.ABC):
     #: Whether ``merge(other)`` combines two shards exactly.
     mergeable: bool = True
 
+    #: Whether the aggregation state is closed under the sanctioned window
+    #: arithmetic (``repro.api.subtract_state`` / ``scale_state``): state
+    #: payloads must be linear in the ingested reports, so subtracting a
+    #: previously-merged shard or scaling by a decay factor yields the
+    #: state of a valid (possibly weighted) collection. True for every
+    #: built-in family — all keep linear sufficient statistics; set to
+    #: ``False`` for states with nonlinear components (min/max, medians,
+    #: collision-dependent sketches).
+    state_arithmetic: bool = True
+
     #: Name of the payload codec (:mod:`repro.protocol.codecs`) this
     #: estimator's reports travel under on the wire, or ``None`` if the
     #: reports have no wire form (shard state travels via ``to_state()``).

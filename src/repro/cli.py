@@ -346,6 +346,8 @@ def _service_config(args):
         n_shards=args.shards,
         queue_depth=args.queue_depth,
         backends=args.backend,
+        window=args.window,
+        decay=args.decay,
         host=args.host,
         port=args.port,
     )
@@ -361,10 +363,15 @@ def _cmd_serve(args) -> int:
     def ready(host: str, port: int) -> None:
         # Flushed so wrappers (CI smoke, examples) see the bound port
         # immediately even when stdout is a pipe.
+        mode = ""
+        if config.window is not None:
+            mode = f", sliding window of {config.window} rounds"
+        elif config.decay is not None:
+            mode = f", decayed window (gamma={config.decay})"
         print(
             f"serving plan {args.plan} on http://{host}:{port} "
-            f"({config.n_shards} shards, queue depth {config.queue_depth}); "
-            "Ctrl-C to stop",
+            f"({config.n_shards} shards, queue depth {config.queue_depth}"
+            f"{mode}); Ctrl-C to stop",
             flush=True,
         )
 
@@ -372,6 +379,65 @@ def _cmd_serve(args) -> int:
         asyncio.run(serve(config, ready=ready))
     except KeyboardInterrupt:
         print("stopped")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.api import make_estimator
+    from repro.privacy import audit_stream_budget
+    from repro.streaming import (
+        StreamingCollector,
+        drifting_stream,
+        shifting_mixture_stream,
+    )
+
+    streams = {
+        "drift": drifting_stream,
+        "mixture": shifting_mixture_stream,
+    }
+    collector = StreamingCollector(
+        {"value": make_estimator(args.method, args.epsilon, args.d)},
+        window=args.window,
+        decay=args.decay,
+        drift_every=args.drift_every,
+        drift_threshold=args.drift_threshold,
+    )
+    rows = []
+    values_stream = streams[args.stream](
+        args.ticks, args.users, rng=np.random.default_rng(args.seed)
+    )
+    for index, values in enumerate(values_stream):
+        round_estimator = collector.make_round(
+            "value", values, rng=np.random.default_rng(args.seed + 1 + index)
+        )
+        result = collector.tick({"value": round_estimator})
+        tick = result.attributes["value"]
+        rows.append(result.to_dict())
+        drift = "" if tick.drift is None else f" drift={tick.drift:.4f}"
+        flag = " DRIFTED" if tick.drifted else ""
+        print(
+            f"tick {result.tick:3d}: iterations={tick.iterations} "
+            f"warm={tick.warm}{drift}{flag}"
+        )
+    audit = audit_stream_budget(
+        {"value": args.epsilon},
+        args.epsilon,
+        rounds=collector.effective_rounds,
+    )
+    print(
+        f"per-window epsilon {audit.per_window_epsilon:.4g} over "
+        f"{audit.rounds} effective rounds "
+        f"(per-round {audit.per_round_epsilon:.4g})"
+    )
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump({"ticks": rows, "audit": audit.to_dict()}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -546,7 +612,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default=None,
         help="compute backend spec for shard solves, e.g. threaded:4",
     )
+    p.add_argument(
+        "--window", type=int, default=None,
+        help="continuous mode: sliding window of the last N advanced rounds",
+    )
+    p.add_argument(
+        "--decay", type=float, default=None,
+        help="continuous mode: exponential forgetting factor in (0, 1)",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="simulate continuous collection over a drifting synthetic stream",
+    )
+    p.add_argument("--method", default="sw-ems", help="registry estimator name")
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.add_argument("--d", type=int, default=256, help="histogram granularity")
+    p.add_argument("--ticks", type=int, default=20, help="rounds to simulate")
+    p.add_argument("--users", type=int, default=20_000, help="users per round")
+    p.add_argument(
+        "--window", type=int, default=None,
+        help="sliding window length (default: cumulative)",
+    )
+    p.add_argument(
+        "--decay", type=float, default=None,
+        help="exponential forgetting factor in (0, 1)",
+    )
+    p.add_argument(
+        "--stream", choices=("drift", "mixture"), default="drift",
+        help="synthetic stream shape (drifting mode or shifting mixture)",
+    )
+    p.add_argument("--drift-every", type=int, default=5, help="0 disables checks")
+    p.add_argument("--drift-threshold", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write per-tick JSON here")
+    p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser(
         "loadgen", help="drive a running service with synthetic clients"

@@ -36,12 +36,18 @@ SVC001    No blocking calls inside ``repro.service`` async handlers:
           calls (``.estimate()``/``.report()``/``estimate_rounds``) on
           the event loop. CPU-bound work must be offloaded through
           ``run_in_executor``/``asyncio.to_thread`` worker threads.
+STATE001  Window/decay maintenance must go through the sanctioned state
+          arithmetic (``repro.api.subtract_state``/``scale_state`` and
+          the payload helpers). Ad-hoc ``-``/``*``/``/`` arithmetic on
+          state payloads outside ``repro.api``/``repro.streaming``
+          silently skips the compatibility and shape checks that make
+          window advance bit-identical to re-ingesting.
 ========  ============================================================
 
 Rules that only make sense for production code (PRIV001, PRIV002, NUM001,
-NUM002, NUM003, REG001, SVC001) skip test files; RNG001 applies everywhere
-— a test that draws from global RNG state poisons reproducibility just as
-surely.
+NUM002, NUM003, REG001, SVC001, STATE001) skip test files; RNG001 applies
+everywhere — a test that draws from global RNG state poisons
+reproducibility just as surely.
 """
 
 from __future__ import annotations
@@ -1025,6 +1031,92 @@ class AsyncBlockingRule:
 
 
 # ----------------------------------------------------------------------
+# STATE001
+# ----------------------------------------------------------------------
+
+#: Calls that produce or consume aggregation-state payloads.
+_STATE_CALLS = frozenset({"_state", "to_state", "_load_state", "from_state"})
+#: Identifiers that read as state payloads: ``state``, ``old_state``,
+#: ``window_state`` ... but not ``statement`` or ``estate``.
+_STATE_NAME = re.compile(r"(^|_)state$")
+#: Directory segments where state arithmetic is sanctioned: the helpers
+#: themselves (``repro.api.arithmetic``) and the window states built on
+#: them (``repro.streaming``).
+_STATE_SANCTIONED_SEGMENTS = frozenset({"api", "streaming"})
+
+
+def _touches_state(node: ast.AST) -> bool:
+    """Whether a subtree mentions a state payload (by call or by name)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _last_name(sub.func) in _STATE_CALLS:
+            return True
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            dotted = _dotted(sub)
+            if dotted is not None and _STATE_NAME.search(
+                dotted.rsplit(".", 1)[-1]
+            ):
+                return True
+    return False
+
+
+class StateArithmeticRule:
+    """STATE001 — window/decay math uses the sanctioned state helpers.
+
+    ``repro.api.subtract_state``/``scale_state`` (and the payload-level
+    ``subtract_payload``/``add_payload``/``scale_payload``) carry the
+    compatibility checks — same family, same ``_params()``, mirrored
+    payload shapes — that make sliding-window advance bit-identical to
+    re-ingesting the window. A hand-rolled ``current - evicted`` or
+    ``0.9 * state["n"]`` elsewhere skips all of that and is exactly the
+    kind of drift this rule exists to catch. ``repro/api/`` and
+    ``repro/streaming/`` are exempt: they are where the sanctioned
+    arithmetic lives.
+    """
+
+    code = "STATE001"
+    summary = (
+        "window/decay state maintenance must use the sanctioned "
+        "repro.api subtract_state/scale_state helpers; no ad-hoc "
+        "-/*// arithmetic on state payloads outside repro.api/"
+        "repro.streaming"
+    )
+
+    _FLAGGED_OPS = (ast.Sub, ast.Mult, ast.Div)
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test:
+            return []
+        if _STATE_SANCTIONED_SEGMENTS & set(module.rel.split("/")[:-1]):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, self._FLAGGED_OPS
+            ):
+                if _touches_state(node.left) or _touches_state(node.right):
+                    findings.append(self._finding(module, node, node.op))
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, self._FLAGGED_OPS
+            ):
+                if _touches_state(node.target) or _touches_state(node.value):
+                    findings.append(self._finding(module, node, node.op))
+        return findings
+
+    def _finding(
+        self, module: AnalyzedModule, node: ast.AST, op: ast.operator
+    ) -> Finding:
+        symbol = {"Sub": "-", "Mult": "*", "Div": "/"}[type(op).__name__]
+        return module.finding(
+            node,
+            self.code,
+            f"ad-hoc '{symbol}' arithmetic on a state payload bypasses the "
+            "compatibility/shape checks of the sanctioned helpers; use "
+            "repro.api.subtract_state/scale_state (or the payload-level "
+            "subtract_payload/add_payload/scale_payload)",
+        )
+
+
+# ----------------------------------------------------------------------
 # catalogue
 # ----------------------------------------------------------------------
 
@@ -1037,6 +1129,7 @@ RULES: tuple[object, ...] = (
     BackendBypassRule(),
     RegistryRule(),
     AsyncBlockingRule(),
+    StateArithmeticRule(),
 )
 
 

@@ -3,15 +3,19 @@
 from repro.privacy.audit import (
     AuditResult,
     PlanAuditResult,
+    StreamAuditResult,
     audit_budget,
     audit_continuous_mechanism,
     audit_matrix,
+    audit_stream_budget,
 )
 
 __all__ = [
     "AuditResult",
     "PlanAuditResult",
+    "StreamAuditResult",
     "audit_budget",
     "audit_continuous_mechanism",
     "audit_matrix",
+    "audit_stream_budget",
 ]

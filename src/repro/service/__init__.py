@@ -28,7 +28,13 @@ from repro.service.http import (
     serve,
     start_local_service,
 )
-from repro.service.loadgen import LoadReport, run_load, synthesize_frames
+from repro.service.loadgen import (
+    LoadReport,
+    percentile,
+    percentiles,
+    run_load,
+    synthesize_frames,
+)
 from repro.service.sharding import HashRing, merge_tree, stable_hash
 
 __all__ = [
@@ -43,6 +49,8 @@ __all__ = [
     "ShardAggregator",
     "ShardedCollector",
     "merge_tree",
+    "percentile",
+    "percentiles",
     "run_load",
     "serve",
     "start_local_service",

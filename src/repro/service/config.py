@@ -61,6 +61,14 @@ class ServiceConfig:
         Forwarded to the estimate tier's merged
         :class:`~repro.protocol.server.CollectionServer` objects — keeps
         warm-start behaviour on by default.
+    window / decay:
+        Continuous-collection mode (mutually exclusive). ``window=W``
+        keeps a sliding window of the last ``W`` advanced rounds per
+        attribute; ``decay=gamma`` keeps an exponentially-forgotten
+        aggregate. Either enables
+        :meth:`~repro.service.core.ShardedCollector.advance_window` and
+        the ``/v1/rounds/{round}/advance`` + ``/v1/stream/estimate``
+        routes; with both unset the service is one-shot only.
     host, port:
         Bind address for :func:`repro.service.http.serve`. Port ``0``
         picks a free port (the bound address is reported back).
@@ -72,6 +80,8 @@ class ServiceConfig:
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     backends: str | Sequence[str | None] | None = None
     incremental: bool = True
+    window: int | None = None
+    decay: float | None = None
     host: str = "127.0.0.1"
     port: int = 0
     _planned: PlannedAnalysis | None = field(
@@ -87,6 +97,16 @@ class ServiceConfig:
             raise ValueError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
             )
+        if self.window is not None and self.decay is not None:
+            raise ValueError("window and decay are mutually exclusive")
+        if self.window is not None:
+            object.__setattr__(self, "window", int(self.window))
+            if self.window < 1:
+                raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.decay is not None:
+            object.__setattr__(self, "decay", float(self.decay))
+            if not 0.0 < self.decay < 1.0:
+                raise ValueError(f"decay must be in (0, 1), got {self.decay}")
         if not isinstance(self.backends, (str, type(None))):
             specs = tuple(self.backends)
             if len(specs) != self.n_shards:
@@ -100,6 +120,11 @@ class ServiceConfig:
     def from_plan_file(cls, path: str | Path, **kwargs) -> "ServiceConfig":
         """Build a config from a plan JSON/TOML file plus keyword knobs."""
         return cls(plan=load_plan(path), **kwargs)
+
+    @property
+    def windowed(self) -> bool:
+        """Whether continuous-collection (window or decay) mode is on."""
+        return self.window is not None or self.decay is not None
 
     @property
     def planned(self) -> PlannedAnalysis:

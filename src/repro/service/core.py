@@ -216,6 +216,10 @@ class ShardedCollector:
         self._merged: dict[str, dict[str, CollectionServer]] = {}
         self._merge_lock = threading.Lock()
         self._merge_seconds: list[float] = []
+        # Windowed mode: the streaming scheduler and the rounds already
+        # advanced into it (a round may be advanced exactly once).
+        self._stream: Any = None
+        self._advanced: list[str] = []
         self._closed = False
 
     # -- validation + routing ----------------------------------------------
@@ -378,6 +382,92 @@ class ShardedCollector:
                 "report": report,
             }
 
+    # -- windowed (continuous) collection ------------------------------------
+    def _ensure_stream(self) -> Any:
+        if self._stream is None:
+            from repro.streaming import StreamingCollector
+
+            self._stream = StreamingCollector(
+                self.planned.make_estimators(),
+                window=self.config.window,
+                decay=self.config.decay,
+            )
+        return self._stream
+
+    def advance_window(self, round_id: str) -> dict[str, Any]:
+        """Fold one completed round into the continuous window and re-solve.
+
+        Drains the shard queues, merges ``round_id`` exactly as
+        :meth:`estimate` would, then pushes the merged per-attribute
+        aggregates into the streaming scheduler
+        (:class:`repro.streaming.StreamingCollector`): the sliding window
+        advances in O(d) per attribute, EM warm-starts from the previous
+        tick's posterior, and wave attributes sharing a channel solve as
+        one fused batch. Each round may be advanced exactly once —
+        advancing it again raises ``ValueError`` (reports that arrive
+        after the advance would otherwise be double-counted); a round no
+        upload ever touched raises ``LookupError``.
+        """
+        if not self.config.windowed:
+            raise RuntimeError(
+                "collector is not in windowed mode; construct the "
+                "ServiceConfig with window= or decay="
+            )
+        self.flush()
+        with self._merge_lock:
+            if round_id in self._advanced:
+                raise ValueError(
+                    f"round {round_id!r} was already advanced into the window"
+                )
+            merged = self._merge_round(round_id)
+            stream = self._ensure_stream()
+            started = time.perf_counter()
+            result = stream.tick(
+                {attr: merged[attr].estimator for attr in self._attrs}
+            )
+            tick_seconds = time.perf_counter() - started
+            self._advanced.append(round_id)
+            payload = result.to_dict()
+            for tick in payload["attributes"].values():
+                tick["estimate"] = _jsonify_estimate(tick["estimate"])
+            return {
+                "round": round_id,
+                "tick_s": round(tick_seconds, 6),
+                "n_reports": {
+                    attr: merged[attr].n_reports for attr in self._attrs
+                },
+                **payload,
+            }
+
+    def window_estimate(self) -> dict[str, Any]:
+        """Latest windowed estimates plus the per-window privacy audit.
+
+        Raises ``LookupError`` until at least one round has been advanced.
+        """
+        if not self.config.windowed:
+            raise RuntimeError(
+                "collector is not in windowed mode; construct the "
+                "ServiceConfig with window= or decay="
+            )
+        with self._merge_lock:
+            if self._stream is None or not self._advanced:
+                raise LookupError("no rounds advanced into the window yet")
+            stream = self._stream
+            audit = self.planned.stream_audit(stream.effective_rounds)
+            return {
+                "mode": "window" if self.config.window is not None else "decay",
+                "window": self.config.window,
+                "decay": self.config.decay,
+                "ticks": stream.n_ticks,
+                "rounds": list(self._advanced),
+                "effective_rounds": stream.effective_rounds,
+                "estimates": {
+                    attr: _jsonify_estimate(value)
+                    for attr, value in stream.estimates().items()
+                },
+                "audit": audit.to_dict(),
+            }
+
     # -- observability -----------------------------------------------------
     def rounds(self) -> list[str]:
         seen: set[str] = set()
@@ -389,6 +479,8 @@ class ShardedCollector:
         merge_ms = sorted(s * 1000.0 for s in self._merge_seconds)
         return {
             "n_shards": len(self.shards),
+            "windowed": self.config.windowed,
+            "window_ticks": 0 if self._stream is None else self._stream.n_ticks,
             "rounds": self.rounds(),
             "shards": [shard.stats() for shard in self.shards],
             "merges": len(merge_ms),

@@ -12,6 +12,13 @@ leverage:
 * ``POST`` (or ``GET``) ``/v1/rounds/{round}/estimate`` — drain, merge,
   and solve the round. ``200`` with per-attribute estimates/errors and
   the plan-level report, ``404`` for a round no upload ever touched.
+* ``POST /v1/rounds/{round}/advance`` — windowed deployments only: fold
+  the completed round into the continuous window
+  (:meth:`~repro.service.core.ShardedCollector.advance_window`). ``200``
+  with the tick result, ``404`` for an untouched round, ``409`` when the
+  round was already advanced, ``400`` when the service is one-shot.
+* ``GET /v1/stream/estimate`` — latest windowed estimates plus the
+  per-window privacy audit; ``404`` before the first advance.
 * ``GET /healthz`` — liveness.
 * ``GET /statz`` — per-shard counters, queue depths, merge latencies.
 
@@ -53,6 +60,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -197,6 +205,10 @@ class ReportService:
             if method != "GET":
                 raise _HttpError(405, "statz is GET-only")
             return 200, self.collector.stats(), None
+        if path == "/v1/stream/estimate":
+            if method != "GET":
+                raise _HttpError(405, "stream estimate is GET-only")
+            return await self._handle_stream_estimate()
         matched = self._round_route(target)
         if matched is None:
             raise _HttpError(404, f"no route {path!r}")
@@ -209,6 +221,10 @@ class ReportService:
             if method not in ("POST", "GET"):
                 raise _HttpError(405, "estimate accepts POST or GET")
             return await self._handle_estimate(round_id)
+        if action == "advance":
+            if method != "POST":
+                raise _HttpError(405, "advance accepts POST only")
+            return await self._handle_advance(round_id)
         raise _HttpError(404, f"no round action {action!r}")
 
     async def _handle_reports(
@@ -246,6 +262,36 @@ class ReportService:
             )
         except LookupError as exc:
             raise _HttpError(404, str(exc)) from None
+        return 200, result, None
+
+    async def _handle_advance(
+        self, round_id: str
+    ) -> tuple[int, dict[str, Any], int | None]:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._solve_pool, self.collector.advance_window, round_id
+            )
+        except LookupError as exc:
+            raise _HttpError(404, str(exc)) from None
+        except ValueError as exc:
+            raise _HttpError(409, str(exc)) from None
+        except RuntimeError as exc:
+            raise _HttpError(400, str(exc)) from None
+        return 200, result, None
+
+    async def _handle_stream_estimate(
+        self,
+    ) -> tuple[int, dict[str, Any], int | None]:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._solve_pool, self.collector.window_estimate
+            )
+        except LookupError as exc:
+            raise _HttpError(404, str(exc)) from None
+        except RuntimeError as exc:
+            raise _HttpError(400, str(exc)) from None
         return 200, result, None
 
 

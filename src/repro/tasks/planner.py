@@ -81,6 +81,26 @@ class PlannedAnalysis:
             self.allocation, self.plan.epsilon, composition=self.composition
         )
 
+    def stream_audit(self, rounds: int, *, participation: str = "every-round"):
+        """Per-window effective epsilon when this plan runs continuously.
+
+        ``rounds`` is the window length in collection rounds (a sliding
+        window's ``W``, a decayed state's effective window, or the tick
+        count for cumulative collection). Returns
+        :class:`repro.privacy.audit.StreamAuditResult`; see
+        :func:`repro.privacy.audit.audit_stream_budget` for the
+        composition/participation semantics.
+        """
+        from repro.privacy.audit import audit_stream_budget
+
+        return audit_stream_budget(
+            self.allocation,
+            self.plan.epsilon,
+            rounds=rounds,
+            composition=self.composition,
+            participation=participation,
+        )
+
     def make_estimators(self) -> dict:
         """One estimator per attribute, built through the registry."""
         return {c.attribute: c.make() for c in self.choices}

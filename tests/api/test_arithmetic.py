@@ -1,0 +1,170 @@
+"""Sanctioned state arithmetic: subtract/scale in payload and estimator space."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    add_payload,
+    list_estimators,
+    make_estimator,
+    scale_payload,
+    scale_state,
+    subtract_payload,
+    subtract_state,
+    supports_state_arithmetic,
+)
+from repro.utils.rng import as_generator
+
+
+#: Families whose clients report categorical indices rather than reals.
+_CATEGORICAL = {"grr", "olh", "hrr"}
+
+
+def _fitted(name, seed, n=400, **kwargs):
+    est = make_estimator(name, 1.0, 64, **kwargs)
+    gen = as_generator(seed)
+    if name in _CATEGORICAL:
+        values = gen.integers(0, 64, size=n)
+    else:
+        values = gen.random(n)
+    est.partial_fit(values, rng=gen)
+    return est
+
+
+class TestPayloadArithmetic:
+    def test_subtract_then_add_roundtrips(self):
+        a = {"counts": [3.0, 5.0], "n": 8}
+        b = {"counts": [1.0, 2.0], "n": 3}
+        assert add_payload(subtract_payload(a, b), b) == a
+
+    def test_nested_lists_recurse(self):
+        a = {"levels": [[2.0, 2.0], [4.0]]}
+        b = {"levels": [[1.0, 0.5], [1.0]]}
+        assert subtract_payload(a, b) == {"levels": [[1.0, 1.5], [3.0]]}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            subtract_payload({"c": [1.0, 2.0]}, {"c": [1.0]})
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="keys"):
+            subtract_payload({"a": 1.0}, {"b": 1.0})
+
+    def test_string_leaves_must_match(self):
+        a = {"codec": "v2", "n": 4}
+        assert subtract_payload(a, {"codec": "v2", "n": 1})["codec"] == "v2"
+        with pytest.raises(ValueError, match="non-numeric"):
+            subtract_payload(a, {"codec": "v1", "n": 1})
+
+    def test_bool_leaves_are_structure_not_counts(self):
+        a = {"flag": True, "n": 4}
+        assert subtract_payload(a, {"flag": True, "n": 1}) == {"flag": True, "n": 3}
+        with pytest.raises(ValueError, match="non-numeric"):
+            subtract_payload(a, {"flag": False, "n": 1})
+        assert scale_payload({"flag": True}, 0.5) == {"flag": True}
+
+    def test_scale_keeps_integral_ints_exact(self):
+        assert scale_payload({"n": 10}, 1.0) == {"n": 10}
+        assert isinstance(scale_payload({"n": 10}, 1.0)["n"], int)
+        assert scale_payload({"n": 10}, 0.5) == {"n": 5}
+        scaled = scale_payload({"n": 10}, 0.33)["n"]
+        assert scaled == pytest.approx(3.3)
+        assert isinstance(scaled, float)
+
+    def test_scale_is_deep_copy_at_gamma_one(self):
+        payload = {"counts": [1.0, 2.0]}
+        copy = scale_payload(payload, 1.0)
+        copy["counts"][0] = 99.0
+        assert payload["counts"][0] == 1.0
+
+
+class TestSubtractState:
+    @pytest.mark.parametrize("name", ["sw-ems", "sw-em", "sw-discrete-ems"])
+    def test_merge_then_subtract_is_bit_identical(self, name):
+        """Bucketized-count states: (a + b) - b is exact below 2^53."""
+        base = _fitted(name, seed=0)
+        other = _fitted(name, seed=1)
+        before = base.to_state()
+        base.merge(other)
+        subtract_state(base, other)
+        assert base.to_state() == before
+
+    @pytest.mark.parametrize("name", ["grr", "olh", "hh", "sr"])
+    def test_float_weighted_states_roundtrip_approximately(self, name):
+        """Debiased-weight states are floats; close, not bit-exact."""
+        base = _fitted(name, seed=0)
+        other = _fitted(name, seed=1)
+        before = base._state()
+        base.merge(other)
+        subtract_state(base, other)
+        after = base._state()
+
+        def check(a, b):
+            if isinstance(a, float):
+                assert a == pytest.approx(b)
+            elif isinstance(a, list):
+                assert len(a) == len(b)
+                for x, y in zip(a, b):
+                    check(x, y)
+            elif isinstance(a, dict):
+                assert a.keys() == b.keys()
+                for key in a:
+                    check(a[key], b[key])
+            else:
+                assert a == b
+
+        check(after, before)
+
+    def test_incompatible_types_rejected(self):
+        with pytest.raises(TypeError, match="cannot combine"):
+            subtract_state(_fitted("sw-ems", 0), _fitted("grr", 0))
+
+    def test_incompatible_params_rejected(self):
+        a = make_estimator("sw-ems", 1.0, 64)
+        b = make_estimator("sw-ems", 2.0, 64)
+        with pytest.raises(ValueError, match="parameters"):
+            subtract_state(a, b)
+
+    def test_opt_out_estimator_rejected(self):
+        est = _fitted("sw-ems", 0)
+        est.state_arithmetic = False
+        with pytest.raises(TypeError, match="state_arithmetic"):
+            subtract_state(est, _fitted("sw-ems", 1))
+        with pytest.raises(TypeError, match="state_arithmetic"):
+            scale_state(est, 0.5)
+        assert not supports_state_arithmetic(est)
+
+
+class TestScaleState:
+    def test_scaling_counts(self):
+        est = _fitted("sw-ems", 0, n=1000)
+        total = est._counts.sum()
+        scale_state(est, 0.5)
+        assert est._counts.sum() == pytest.approx(0.5 * total)
+
+    def test_gamma_validation(self):
+        est = _fitted("sw-ems", 0)
+        for gamma in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="gamma"):
+                scale_state(est, gamma)
+
+    def test_scale_by_one_is_identity(self):
+        est = _fitted("sw-ems", 0)
+        before = est.to_state()
+        scale_state(est, 1.0)
+        assert est.to_state() == before
+
+
+class TestCapabilityFlag:
+    def test_all_builtin_families_declare_arithmetic(self):
+        specs = list_estimators()
+        assert specs
+        assert all(spec.state_arithmetic for spec in specs)
+
+    def test_registry_filter(self):
+        assert list_estimators(state_arithmetic=True)
+        assert list_estimators(state_arithmetic=False) == []
+
+    def test_instances_report_capability(self):
+        assert supports_state_arithmetic(make_estimator("sw-ems", 1.0, 64))
+        assert not supports_state_arithmetic(object())

@@ -655,3 +655,83 @@ class TestAsyncBlockingRule:
             tmp_path, ASYNC_SOLVE_BAD, rel="service/test_handlers.py"
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# STATE001
+# ----------------------------------------------------------------------
+
+STATE_SUB_BAD = (
+    "def advance(current, evicted):\n"
+    "    return current.to_state()[\"counts\"] - evicted.to_state()[\"counts\"]\n"
+)
+
+STATE_AUG_BAD = (
+    "def decay(window_state, gamma):\n"
+    "    window_state *= gamma\n"
+    "    return window_state\n"
+)
+
+
+class TestState001:
+    def test_subtraction_of_state_payloads_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, STATE_SUB_BAD, rel="protocol/agg.py")
+        assert codes(findings) == ["STATE001"]
+        assert "subtract_state" in findings[0].message
+
+    def test_scaling_state_variable_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def forget(state, gamma):\n"
+            "    return state[\"n\"] * gamma\n",
+            rel="service/core.py",
+        )
+        assert codes(findings) == ["STATE001"]
+
+    def test_augmented_scaling_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, STATE_AUG_BAD, rel="protocol/agg.py")
+        assert codes(findings) == ["STATE001"]
+        assert "'*'" in findings[0].message
+
+    def test_division_of_state_call_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def norm(est):\n"
+            "    return est._state()[\"counts\"] / est._state()[\"n\"]\n",
+            rel="core/pipeline.py",
+        )
+        assert codes(findings) == ["STATE001"]
+
+    def test_addition_is_not_flagged(self, tmp_path):
+        """Merge-shaped addition is what ``merge()`` already sanctions."""
+        findings, _ = lint_source(
+            tmp_path,
+            "def fold(state, other_state):\n"
+            "    return state + other_state\n",
+            rel="protocol/agg.py",
+        )
+        assert findings == []
+
+    def test_api_modules_are_exempt(self, tmp_path):
+        findings, _ = lint_source(tmp_path, STATE_SUB_BAD, rel="api/arithmetic.py")
+        assert findings == []
+
+    def test_streaming_modules_are_exempt(self, tmp_path):
+        findings, _ = lint_source(tmp_path, STATE_AUG_BAD, rel="streaming/window.py")
+        assert findings == []
+
+    def test_non_state_names_not_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def bill(estate, rate):\n"
+            "    statement = estate * rate\n"
+            "    return statement - 1.0\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_test_modules_not_checked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, STATE_SUB_BAD, rel="protocol/test_agg.py"
+        )
+        assert findings == []

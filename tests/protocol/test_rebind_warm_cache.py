@@ -1,0 +1,153 @@
+"""Warm-cache survival across merge → rebind → re-merge cycles.
+
+The estimate tier of a sharded deployment never rebuilds its servers:
+each round it folds shard snapshots into a freshly merged estimator and
+``rebind_estimator``s it into the persistent :class:`CollectionServer`.
+These tests pin the cache contract that makes that cheap — an unchanged
+re-merge must serve the cached posterior without a solve, a small delta
+must warm-start EM from it — and that the contract holds when estimates
+race rebinds on threads, as they do under the service's solve pool.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import make_estimator
+from repro.protocol import CollectionServer
+
+D = 32
+
+
+def _shard_servers(n_shards, seed, n=400):
+    rng = np.random.default_rng(seed)
+    shards = []
+    for _ in range(n_shards):
+        shard = CollectionServer("r", "sw-ems", 1.0, D)
+        shard.ingest_reports(shard.privatize(rng.random(n), rng=rng))
+        shards.append(shard)
+    return shards
+
+
+def _merge_snapshot(shards):
+    """The merge tier's move: fold shard states into a fresh estimator."""
+    merged = make_estimator("sw-ems", 1.0, D)
+    for shard in shards:
+        snapshot = CollectionServer.from_state(shard.to_state())
+        merged.merge(snapshot._estimator)
+    return merged
+
+
+class TestCacheSurvivesRemerge:
+    def test_identical_remerge_skips_the_solve(self):
+        shards = _shard_servers(3, seed=0)
+        server = CollectionServer("r", "sw-ems", 1.0, D)
+        server.rebind_estimator(_merge_snapshot(shards))
+        first = server.estimate()
+
+        # Round two: same shards re-merged into a brand-new estimator.
+        remerged = _merge_snapshot(shards)
+        server.rebind_estimator(remerged)
+        second = server.estimate()
+
+        np.testing.assert_array_equal(first, second)
+        # A cache hit never touches the rebound estimator's solver.
+        assert getattr(remerged, "result_", None) is None
+
+    def test_cache_survives_many_cycles(self):
+        shards = _shard_servers(2, seed=1)
+        server = CollectionServer("r", "sw-ems", 1.0, D)
+        server.rebind_estimator(_merge_snapshot(shards))
+        reference = server.estimate()
+        for _ in range(5):
+            server.rebind_estimator(_merge_snapshot(shards))
+            np.testing.assert_array_equal(server.estimate(), reference)
+
+    def test_delta_remerge_warm_starts(self):
+        """A re-merge with one extra shard solves warm: strictly fewer EM
+        iterations than the same state solved cold."""
+        base = _shard_servers(3, seed=2, n=1000)
+        server = CollectionServer("r", "sw-ems", 1.0, D)
+        server.rebind_estimator(_merge_snapshot(base))
+        server.estimate()  # populate the posterior cache
+
+        delta = _shard_servers(1, seed=99, n=100)
+        grown = _merge_snapshot(base + delta)
+        server.rebind_estimator(grown)
+        warm_estimate = server.estimate()
+        warm_iterations = grown.result_.iterations
+
+        cold_server = CollectionServer("r", "sw-ems", 1.0, D)
+        cold_est = _merge_snapshot(base + delta)
+        cold_server.rebind_estimator(cold_est)
+        cold_estimate = cold_server.estimate()
+        cold_iterations = cold_est.result_.iterations
+
+        assert warm_iterations < cold_iterations
+        # Same fixed point: both stop within the EM convergence tolerance
+        # of it, so the posteriors agree to solver precision, not bit-level.
+        np.testing.assert_allclose(warm_estimate, cold_estimate, atol=5e-3)
+
+    def test_non_incremental_server_still_rebinds(self):
+        shards = _shard_servers(2, seed=3)
+        server = CollectionServer("r", "sw-ems", 1.0, D, incremental=False)
+        server.rebind_estimator(_merge_snapshot(shards))
+        first = server.estimate()
+        remerged = _merge_snapshot(shards)
+        server.rebind_estimator(remerged)
+        np.testing.assert_allclose(server.estimate(), first)
+        # No cache in non-incremental mode: the solve really ran.
+        assert remerged.result_ is not None
+
+
+class TestConcurrentRebindEstimate:
+    def test_estimates_race_rebind_cycles_safely(self):
+        """Readers racing merge→rebind cycles always see a consistent
+        posterior — never a torn state, an exception, or a stale shape."""
+        shards = _shard_servers(2, seed=4, n=500)
+        server = CollectionServer("r", "sw-ems", 1.0, D)
+        server.rebind_estimator(_merge_snapshot(shards))
+        server.estimate()
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def rebinder():
+            rng = np.random.default_rng(5)
+            try:
+                for i in range(10):
+                    extra = CollectionServer("r", "sw-ems", 1.0, D)
+                    extra.ingest_reports(
+                        extra.privatize(rng.random(200), rng=rng)
+                    )
+                    shards.append(extra)
+                    server.rebind_estimator(_merge_snapshot(shards))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def estimator():
+            try:
+                while not done.is_set():
+                    estimate = server.estimate()
+                    assert estimate.shape == (D,)
+                    assert np.all(np.isfinite(estimate))
+                    assert estimate.sum() == pytest.approx(1.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=rebinder)] + [
+            threading.Thread(target=estimator) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert not any(t.is_alive() for t in threads)
+        # The final state is the full 12-shard merge, solved consistently.
+        final = server.estimate()
+        expected_reports = 2 * 500 + 10 * 200
+        assert server.n_reports == expected_reports
+        assert final.sum() == pytest.approx(1.0)

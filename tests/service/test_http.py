@@ -155,6 +155,9 @@ class TestObservabilityRoutes:
         assert status == 200
         assert payload == {"status": "ok", "rounds": []}
         upload_round(service, plan, n_users=400)
+        # A 202 means enqueued; rounds appear once a shard worker has
+        # processed the submission, so drain before asserting.
+        service.collector.flush()
         _, payload = request(service, "GET", "/healthz")
         assert payload["rounds"] == ["r1"]
 

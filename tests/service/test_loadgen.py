@@ -7,7 +7,7 @@ import pytest
 
 from repro.protocol import iter_frame_blocks
 from repro.service import LoadReport, ServiceConfig, run_load, start_local_service
-from repro.service.loadgen import percentile, synthesize_frames
+from repro.service.loadgen import percentile, percentiles, synthesize_frames
 from repro.tasks import AnalysisPlan, AttributeSpec, Distribution, Mean
 
 
@@ -151,3 +151,25 @@ class TestRunLoadEndToEnd:
     def test_invalid_concurrency_rejected(self, plan):
         with pytest.raises(ValueError, match="concurrency"):
             run_load("127.0.0.1", 1, plan, "r", 10, concurrency=0)
+
+
+class TestPercentiles:
+    def test_one_pass_matches_percentile(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0]
+        batch = percentiles(samples, (0, 50, 100))
+        assert batch == [percentile(samples, q) for q in (0, 50, 100)]
+
+    def test_empty_is_all_nan(self):
+        values = percentiles([], (50, 95, 99))
+        assert len(values) == 3
+        assert all(math.isnan(v) for v in values)
+
+    def test_accepts_any_iterable(self):
+        assert percentiles((v for v in [2.0, 4.0]), (50,)) == [2.0]
+
+    def test_nearest_rank_on_large_sample(self):
+        samples = list(range(1, 1001))
+        p50, p95, p99 = percentiles(samples, (50, 95, 99))
+        assert abs(p50 - 500) <= 1
+        assert abs(p95 - 950) <= 1
+        assert abs(p99 - 990) <= 1

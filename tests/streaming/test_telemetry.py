@@ -1,0 +1,52 @@
+"""Synthetic drifting streams: shape, domain, seeding, drift direction."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import drifting_stream, shifting_mixture_stream
+
+
+class TestDriftingStream:
+    def test_shapes_and_domain(self):
+        ticks = list(drifting_stream(5, 200, rng=0))
+        assert len(ticks) == 5
+        for values in ticks:
+            assert values.shape == (200,)
+            assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_center_drifts_from_start_to_end(self):
+        ticks = list(drifting_stream(10, 5000, start=0.2, end=0.8, rng=0))
+        assert ticks[0].mean() == pytest.approx(0.2, abs=0.02)
+        assert ticks[-1].mean() == pytest.approx(0.8, abs=0.02)
+        means = [t.mean() for t in ticks]
+        assert means == sorted(means)
+
+    def test_seeding_is_reproducible(self):
+        a = list(drifting_stream(3, 100, rng=7))
+        b = list(drifting_stream(3, 100, rng=7))
+        for x, y in zip(a, b):
+            assert (x == y).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(drifting_stream(0, 10))
+        with pytest.raises(ValueError):
+            list(drifting_stream(10, 0))
+
+
+class TestShiftingMixtureStream:
+    def test_mass_shifts_between_modes(self):
+        ticks = list(shifting_mixture_stream(10, 5000, rng=0))
+        first, second = 0.33, 0.75
+        cut = (first + second) / 2.0
+        early = np.mean(ticks[0] > cut)
+        late = np.mean(ticks[-1] > cut)
+        assert early == pytest.approx(0.2, abs=0.03)
+        assert late == pytest.approx(0.8, abs=0.03)
+
+    def test_domain_and_seeding(self):
+        a = list(shifting_mixture_stream(4, 300, rng=3))
+        b = list(shifting_mixture_stream(4, 300, rng=3))
+        for x, y in zip(a, b):
+            assert (x == y).all()
+            assert x.min() >= 0.0 and x.max() <= 1.0
