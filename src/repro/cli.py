@@ -350,7 +350,17 @@ def _service_config(args):
         decay=args.decay,
         host=args.host,
         port=args.port,
+        journal_dir=getattr(args, "journal_dir", None),
+        journal_fsync=getattr(args, "journal_fsync", "checkpoint"),
+        checkpoint_every=getattr(args, "checkpoint_every", None)
+        or _default_checkpoint_every(),
     )
+
+
+def _default_checkpoint_every() -> int:
+    from repro.service import DEFAULT_CHECKPOINT_EVERY
+
+    return DEFAULT_CHECKPOINT_EVERY
 
 
 def _cmd_serve(args) -> int:
@@ -368,6 +378,8 @@ def _cmd_serve(args) -> int:
             mode = f", sliding window of {config.window} rounds"
         elif config.decay is not None:
             mode = f", decayed window (gamma={config.decay})"
+        if config.journal_dir is not None:
+            mode += f", journaling to {config.journal_dir}"
         print(
             f"serving plan {args.plan} on http://{host}:{port} "
             f"({config.n_shards} shards, queue depth {config.queue_depth}"
@@ -379,6 +391,58 @@ def _cmd_serve(args) -> int:
         asyncio.run(serve(config, ready=ready))
     except KeyboardInterrupt:
         print("stopped")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service import ServiceConfig, ShardedCollector
+
+    journal_dir = Path(args.journal_dir)
+    if not journal_dir.is_dir():
+        raise ValueError(f"journal dir {journal_dir} does not exist")
+    n_shards = args.shards
+    if n_shards is None:
+        n_shards = len(sorted(journal_dir.glob("shard-*.journal")))
+        if n_shards == 0:
+            raise ValueError(
+                f"no shard-*.journal files under {journal_dir}; nothing to recover"
+            )
+    config = ServiceConfig.from_plan_file(
+        args.plan,
+        n_shards=n_shards,
+        window=args.window,
+        decay=args.decay,
+        journal_dir=journal_dir,
+    )
+    with ShardedCollector(config) as collector:
+        recovery = collector.stats()
+        journal = recovery["journal"] or {}
+        print(
+            f"recovered {journal.get('recovered_records', 0)} journal records "
+            f"across {n_shards} shards "
+            f"({recovery['uploads_accepted']} uploads committed; "
+            f"rounds: {', '.join(recovery['rounds']) or 'none'})",
+            flush=True,
+        )
+        result: dict = {"stats": recovery}
+        if args.round_id is not None:
+            result["estimate"] = collector.estimate(args.round_id)
+            reports = sum(result["estimate"]["n_reports"].values())
+            print(f"round {args.round_id}: {reports:,} reports recovered")
+        elif config.windowed and recovery["window_ticks"]:
+            result["window"] = collector.window_estimate()
+            print(
+                f"window re-advanced through {recovery['window_ticks']} ticks "
+                f"({', '.join(result['window']['rounds'])})"
+            )
+        if args.output is not None:
+            with open(args.output, "w") as handle:
+                json.dump(result, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.output}")
     return 0
 
 
@@ -620,7 +684,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--decay", type=float, default=None,
         help="continuous mode: exponential forgetting factor in (0, 1)",
     )
+    p.add_argument(
+        "--journal-dir", default=None,
+        help="durable ingest journal directory (enables crash recovery)",
+    )
+    p.add_argument(
+        "--journal-fsync", choices=("always", "checkpoint", "never"),
+        default="checkpoint", help="when journal appends reach disk",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="accepted uploads between state checkpoints (default 256)",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild service state from a crashed deployment's journals",
+    )
+    p.add_argument("--plan", required=True, help="the crashed service's plan file")
+    p.add_argument("--journal-dir", required=True, help="its journal directory")
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: inferred from shard-*.journal files)",
+    )
+    p.add_argument(
+        "--window", type=int, default=None,
+        help="sliding-window length, when the deployment was windowed",
+    )
+    p.add_argument(
+        "--decay", type=float, default=None,
+        help="decay factor, when the deployment used decayed windows",
+    )
+    p.add_argument(
+        "--round-id", default=None,
+        help="also estimate this round from the recovered state",
+    )
+    p.add_argument("--output", default=None, help="write recovery JSON here")
+    p.set_defaults(fn=_cmd_recover)
 
     p = sub.add_parser(
         "stream",

@@ -42,11 +42,18 @@ STATE001  Window/decay maintenance must go through the sanctioned state
           state payloads outside ``repro.api``/``repro.streaming``
           silently skips the compatibility and shape checks that make
           window advance bit-identical to re-ingesting.
+FT001     No silently swallowed failures in ``repro.service``: a bare
+          ``except:`` / ``except Exception`` / ``except BaseException``
+          handler must re-raise, reference the bound exception, or touch
+          an accounting sink (error counters, ``stats()`` fields,
+          loggers). The service's fault-tolerance contract is that every
+          failure is either surfaced or *counted* — a ``pass`` handler
+          in a drain loop is how lost reports become undetectable.
 ========  ============================================================
 
 Rules that only make sense for production code (PRIV001, PRIV002, NUM001,
-NUM002, NUM003, REG001, SVC001, STATE001) skip test files; RNG001 applies
-everywhere — a test that draws from global RNG state poisons
+NUM002, NUM003, REG001, SVC001, STATE001, FT001) skip test files; RNG001
+applies everywhere — a test that draws from global RNG state poisons
 reproducibility just as surely.
 """
 
@@ -1117,6 +1124,110 @@ class StateArithmeticRule:
 
 
 # ----------------------------------------------------------------------
+# FT001
+# ----------------------------------------------------------------------
+
+#: Exception names broad enough that a silent handler hides real faults.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+#: Identifier tokens that count as "the failure was accounted for":
+#: error counters, stats fields, loggers. A handler that touches any of
+#: these is surfacing the fault, not swallowing it.
+_ACCOUNTING_TOKENS = frozenset(
+    {
+        "error",
+        "errors",
+        "counter",
+        "counters",
+        "stats",
+        "failed",
+        "failures",
+        "log",
+        "logger",
+        "warn",
+        "warning",
+    }
+)
+
+
+class SwallowedFaultRule:
+    """FT001 — no silently swallowed failures in ``repro.service``.
+
+    The fault-tolerance contract is that every failure is either
+    re-raised or *counted*: a drain loop's ``except Exception: pass``
+    turns lost reports into an undetectable accuracy bug — the journal
+    replays them, the counters never saw them, and recovery "succeeds"
+    with the wrong answer. A broad handler (bare ``except:``,
+    ``except Exception``, ``except BaseException``, or a tuple
+    containing one) passes only if its body re-raises, references the
+    bound exception (it is being recorded or wrapped), or touches an
+    accounting sink — error counters, ``stats``-shaped fields, loggers.
+    Narrow handlers (``except queue.Full`` etc.) are out of scope: they
+    name the exact condition being absorbed.
+    """
+
+    code = "FT001"
+    summary = (
+        "broad except handlers in repro.service must re-raise, use the "
+        "bound exception, or update failure accounting (error counters/"
+        "stats/logging) — never silently swallow"
+    )
+
+    def check_module(self, module: AnalyzedModule) -> list[Finding]:
+        if module.is_test or "service/" not in module.rel:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._accounts_for_failure(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {_dotted(node.type) or 'Exception'}"
+            )
+            findings.append(
+                module.finding(
+                    node,
+                    self.code,
+                    f"{caught} swallows the failure: re-raise it, record "
+                    "the bound exception, or count it in an error/stats "
+                    "sink so recovery and monitoring can see it",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _is_broad(type_expr: ast.expr | None) -> bool:
+        if type_expr is None:  # bare ``except:``
+            return True
+        exprs = (
+            list(type_expr.elts)
+            if isinstance(type_expr, ast.Tuple)
+            else [type_expr]
+        )
+        return any(_last_name(expr) in _BROAD_EXCEPTIONS for expr in exprs)
+
+    @staticmethod
+    def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for stmt in handler.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return True
+                if isinstance(sub, (ast.Name, ast.Attribute)):
+                    dotted = _dotted(sub)
+                    if dotted is None:
+                        continue
+                    parts = dotted.replace(".", "_").split("_")
+                    if bound is not None and bound in parts:
+                        return True
+                    if _ACCOUNTING_TOKENS & set(parts):
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
 # catalogue
 # ----------------------------------------------------------------------
 
@@ -1130,6 +1241,7 @@ RULES: tuple[object, ...] = (
     RegistryRule(),
     AsyncBlockingRule(),
     StateArithmeticRule(),
+    SwallowedFaultRule(),
 )
 
 

@@ -33,6 +33,7 @@ import json
 import struct
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Any, Protocol
 
 import numpy as np
@@ -52,10 +53,12 @@ __all__ = [
     "FrameBlock",
     "is_frame",
     "encode_frame",
+    "encode_frame_block",
     "encode_frame_blocks",
     "decode_frame",
     "decode_frame_grouped",
     "decode_any_feed",
+    "frame_digest",
     "iter_frame_blocks",
 ]
 
@@ -141,6 +144,53 @@ def encode_frame(
 ) -> bytes:
     """Encode one attribute's report batch as a single-block frame."""
     return encode_frame_blocks(round_id, [(attr, codec, reports)])
+
+
+def frame_digest(data: bytes | str) -> str:
+    """Stable BLAKE2b-128 hex digest of one upload's wire bytes.
+
+    The content-addressed identity of an upload: the service's durable
+    ingest journal stamps every appended segment with it, and the
+    idempotency layer uses it both as the default idempotency key and to
+    detect key reuse across *different* payloads (a 409, not a replay).
+    JSON-lines feeds digest their UTF-8 encoding, so the same feed hashes
+    identically whichever transport carried it.
+    """
+    raw = data.encode("utf-8") if isinstance(data, str) else bytes(data)
+    return blake2b(raw, digest_size=16).hexdigest()
+
+
+def encode_frame_block(block: FrameBlock) -> bytes:
+    """Re-encode one decoded block as a standalone single-block frame.
+
+    The durable-journal path: an upload is validated and split into
+    per-shard blocks, and each block must be persisted as a
+    self-describing RPF2 segment *without* paying the codec's
+    ``from_columns`` materialization (the raw wire columns are already in
+    hand). Round-trips bit-exactly: ``iter_frame_blocks`` over the result
+    yields a block with identical columns.
+    """
+    header = {
+        "version": PROTOCOL_V2,
+        "round_id": block.round_id,
+        "blocks": [
+            {
+                "attr": block.attr,
+                "mech": block.codec.name,
+                "n": int(block.n),
+                "columns": [[name, dtype] for name, dtype in block.codec.columns],
+            }
+        ],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [FRAME_MAGIC, _HEADER_LEN.pack(len(header_bytes)), header_bytes]
+    for name, dtype in block.codec.columns:
+        parts.append(
+            np.ascontiguousarray(
+                block.columns[name], dtype=np.dtype(dtype)
+            ).tobytes()
+        )
+    return b"".join(parts)
 
 
 class _SupportsRead(Protocol):

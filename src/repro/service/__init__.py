@@ -10,17 +10,38 @@ harness that simulates millions of clients
 (:mod:`repro.service.loadgen`). Run it from the CLI with
 ``python -m repro serve --plan plan.json`` and drive it with
 ``python -m repro loadgen``.
+
+Fault tolerance rides on the same layers
+(:mod:`repro.service.resilience`, :mod:`repro.service.faults`): durable
+per-shard write-ahead journals with periodic checkpoints and
+bit-identical crash recovery (``repro serve --journal-dir``, ``repro
+recover``), idempotent uploads with replay acks, graceful degradation
+around dead shards, and a seeded fault-injection harness that makes all
+of it testable.
 """
 
 from repro.service.config import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_DEDUP_CAPACITY,
     DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_HEADER_BYTES,
     DEFAULT_QUEUE_DEPTH,
+    DEFAULT_READ_TIMEOUT,
     ServiceConfig,
 )
 from repro.service.core import (
     ServiceOverloadError,
     ShardAggregator,
     ShardedCollector,
+)
+from repro.service.faults import (
+    DEFAULT_RETRY_POLICY,
+    FAULT_SITES,
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    RetryPolicy,
 )
 from repro.service.http import (
     ReportService,
@@ -35,19 +56,45 @@ from repro.service.loadgen import (
     run_load,
     synthesize_frames,
 )
+from repro.service.resilience import (
+    DedupLedger,
+    IdempotencyConflictError,
+    IngestReceipt,
+    MetaJournal,
+    ShardJournal,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.service.sharding import HashRing, merge_tree, stable_hash
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_DEDUP_CAPACITY",
     "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_HEADER_BYTES",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_READ_TIMEOUT",
+    "DEFAULT_RETRY_POLICY",
+    "DedupLedger",
+    "FAULT_SITES",
+    "Fault",
+    "FaultPlan",
     "HashRing",
+    "IdempotencyConflictError",
+    "IngestReceipt",
+    "InjectedCrash",
+    "InjectedFault",
     "LoadReport",
+    "MetaJournal",
     "ReportService",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceHandle",
     "ServiceOverloadError",
     "ShardAggregator",
+    "ShardJournal",
     "ShardedCollector",
+    "load_checkpoint",
     "merge_tree",
     "percentile",
     "percentiles",
@@ -56,4 +103,5 @@ __all__ = [
     "start_local_service",
     "stable_hash",
     "synthesize_frames",
+    "write_checkpoint",
 ]

@@ -19,10 +19,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.service.faults import FaultPlan
+from repro.service.resilience import FSYNC_POLICIES
 from repro.tasks.plan import AnalysisPlan, load_plan
 from repro.tasks.planner import PlannedAnalysis, plan_analysis
 
-__all__ = ["DEFAULT_MAX_BODY_BYTES", "DEFAULT_QUEUE_DEPTH", "ServiceConfig"]
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_DEDUP_CAPACITY",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_HEADER_BYTES",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_READ_TIMEOUT",
+    "ServiceConfig",
+]
 
 #: Per-shard ingest queue bound (pending blocks, not reports). Deep enough
 #: to ride out a solve hiccup, shallow enough that ingest-tier memory stays
@@ -32,6 +42,24 @@ DEFAULT_QUEUE_DEPTH = 64
 #: Largest accepted upload body. Bounds per-request ingest memory; clients
 #: with more reports send more frames.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest accepted request head (request line + headers). Oversized heads
+#: are rejected with 431 before any body is read.
+DEFAULT_MAX_HEADER_BYTES = 32 * 1024
+
+#: Per-request read timeout (seconds). A client that stalls mid-request —
+#: slow-loris style — gets a 408 and its connection closed, instead of
+#: pinning a keep-alive slot forever.
+DEFAULT_READ_TIMEOUT = 30.0
+
+#: Checkpoint cadence: one state checkpoint per this many accepted uploads
+#: per journal. Bounds the journal tail that recovery must replay.
+DEFAULT_CHECKPOINT_EVERY = 256
+
+#: Bound on the idempotency ledger. Must cover at least the post-checkpoint
+#: replay window (``checkpoint_every``) so recovery never forgets a key a
+#: client might still retry.
+DEFAULT_DEDUP_CAPACITY = 65536
 
 
 @dataclass(frozen=True)
@@ -72,6 +100,32 @@ class ServiceConfig:
     host, port:
         Bind address for :func:`repro.service.http.serve`. Port ``0``
         picks a free port (the bound address is reported back).
+    journal_dir:
+        Directory for the durable ingest journals. ``None`` (default)
+        disables journaling entirely — state is memory-only, as before.
+        When set, accepted blocks are written to per-shard write-ahead
+        logs plus a collector-level commit log *before* they are acked,
+        and a restarted service recovers bit-identical state from them.
+    journal_fsync:
+        Fsync policy for the journals: ``"always"`` (fsync per record),
+        ``"checkpoint"`` (fsync at checkpoints, OS-flush per record —
+        the default), or ``"never"``.
+    checkpoint_every:
+        Accepted uploads between automatic state checkpoints. Bounds
+        recovery replay time; only meaningful with ``journal_dir``.
+    dedup_capacity:
+        Bound on the idempotency ledger (entries). Must be at least
+        ``checkpoint_every`` so the post-checkpoint replay window is
+        always covered by remembered keys.
+    read_timeout:
+        Per-request HTTP read timeout (seconds); stalled clients get
+        ``408`` and a closed connection.
+    max_header_bytes:
+        Largest accepted request head; larger heads get ``431``.
+    faults:
+        Optional :class:`~repro.service.faults.FaultPlan` injected into
+        the journal/shard/HTTP seams. Test and chaos-CI use only; never
+        part of config equality.
     """
 
     plan: AnalysisPlan
@@ -84,6 +138,13 @@ class ServiceConfig:
     decay: float | None = None
     host: str = "127.0.0.1"
     port: int = 0
+    journal_dir: str | Path | None = None
+    journal_fsync: str = "checkpoint"
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    dedup_capacity: int = DEFAULT_DEDUP_CAPACITY
+    read_timeout: float = DEFAULT_READ_TIMEOUT
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES
+    faults: FaultPlan | None = field(default=None, repr=False, compare=False)
     _planned: PlannedAnalysis | None = field(
         default=None, repr=False, compare=False
     )
@@ -107,6 +168,31 @@ class ServiceConfig:
             object.__setattr__(self, "decay", float(self.decay))
             if not 0.0 < self.decay < 1.0:
                 raise ValueError(f"decay must be in (0, 1), got {self.decay}")
+        if self.journal_dir is not None:
+            object.__setattr__(self, "journal_dir", Path(self.journal_dir))
+        if self.journal_fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"journal_fsync must be one of {FSYNC_POLICIES}, "
+                f"got {self.journal_fsync!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.dedup_capacity < self.checkpoint_every:
+            raise ValueError(
+                f"dedup_capacity ({self.dedup_capacity}) must be >= "
+                f"checkpoint_every ({self.checkpoint_every}) so the replay "
+                "window after recovery stays covered by remembered keys"
+            )
+        if self.read_timeout <= 0.0:
+            raise ValueError(
+                f"read_timeout must be > 0, got {self.read_timeout}"
+            )
+        if self.max_header_bytes < 1024:
+            raise ValueError(
+                f"max_header_bytes must be >= 1024, got {self.max_header_bytes}"
+            )
         if not isinstance(self.backends, (str, type(None))):
             specs = tuple(self.backends)
             if len(specs) != self.n_shards:

@@ -7,8 +7,14 @@ leverage:
 * ``POST /v1/rounds/{round}/reports`` — upload one RPF2 frame
   (``application/x-repro-frame`` / ``application/octet-stream``) or
   JSON-lines batch (anything else). ``202`` with the accepted report
-  count, ``400`` on a malformed or mismatched feed, ``413`` past the
-  body limit, ``429`` when backpressure rejects the upload whole.
+  count, ``200`` when an ``Idempotency-Key`` (or identical content)
+  replays an already-accepted upload, ``400`` on a malformed or
+  mismatched feed, ``409`` when an idempotency key is reused for
+  different bytes, ``413`` past the body limit, ``429`` when
+  backpressure rejects the upload whole. Every upload is idempotent:
+  the key is the ``Idempotency-Key`` header when given, else the body's
+  content digest — so a client that times out and retries can never
+  double-ingest.
 * ``POST`` (or ``GET``) ``/v1/rounds/{round}/estimate`` — drain, merge,
   and solve the round. ``200`` with per-attribute estimates/errors and
   the plan-level report, ``404`` for a round no upload ever touched.
@@ -29,23 +35,33 @@ single-thread executor (serializing them is what makes the collector's
 all-or-nothing capacity check sound), solves onto a separate executor so
 a long EM run cannot stall ingest. ``repro.devtools`` rule SVC001 lints
 this property.
+
+Hardening: each request's head+body must arrive within
+``config.read_timeout`` seconds (``408`` and the connection closes — a
+slow-loris client cannot pin a connection slot), request heads larger
+than ``config.max_header_bytes`` get ``431``, and oversized bodies are
+rejected with ``413`` before they are read. A configured
+:class:`~repro.service.faults.FaultPlan` can drop connections
+(``http.drop``) or delay responses (``http.delay``) for chaos testing.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
 
+from repro.protocol.frames import frame_digest
 from repro.service.config import ServiceConfig
 from repro.service.core import ServiceOverloadError, ShardedCollector
+from repro.service.resilience import IdempotencyConflictError
 
 __all__ = ["ReportService", "ServiceHandle", "serve", "start_local_service"]
 
 _FRAME_TYPES = ("application/x-repro-frame", "application/octet-stream")
-_MAX_HEADER_BYTES = 32 * 1024
 
 
 class _HttpError(Exception):
@@ -60,14 +76,22 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
 }
 
 
-def _response(status: int, payload: dict[str, Any], *, retry_after: int | None = None) -> bytes:
+def _response(
+    status: int,
+    payload: dict[str, Any],
+    *,
+    retry_after: int | None = None,
+    close: bool = False,
+) -> bytes:
     body = json.dumps(payload).encode("utf-8")
     headers = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
@@ -76,7 +100,7 @@ def _response(status: int, payload: dict[str, Any], *, retry_after: int | None =
     ]
     if retry_after is not None:
         headers.append(f"Retry-After: {retry_after}")
-    headers.append("Connection: keep-alive")
+    headers.append("Connection: close" if close else "Connection: keep-alive")
     return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
 
 
@@ -96,12 +120,19 @@ class ReportService:
             max_workers=1, thread_name_prefix="repro-solve"
         )
         self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the bound ``(host, port)``."""
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            # The stream limit bounds readuntil(); keep it just above the
+            # header cap so an oversized head overruns into a clean 431.
+            limit=self.config.max_header_bytes + 4096,
         )
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
@@ -112,6 +143,12 @@ class ReportService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Close lingering keep-alive connections and wait for their
+        # handler tasks, so no transport outlives the event loop.
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
         self._submit_pool.shutdown(wait=True)
         self._solve_pool.shutdown(wait=True)
         self.collector.close()
@@ -125,9 +162,9 @@ class ReportService:
         except asyncio.IncompleteReadError:
             return None
         except asyncio.LimitOverrunError:
-            raise _HttpError(413, "request head too large") from None
-        if len(head) > _MAX_HEADER_BYTES:
-            raise _HttpError(413, "request head too large")
+            raise _HttpError(431, "request head too large") from None
+        if len(head) > self.config.max_header_bytes:
+            raise _HttpError(431, "request head too large")
         lines = head.decode("latin-1").split("\r\n")
         try:
             method, target, _version = lines[0].split(" ", 2)
@@ -152,12 +189,39 @@ class ReportService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        faults = self.config.faults
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    # One budget for the whole request (head + body): a
+                    # slow-loris peer times out here with 408 while other
+                    # keep-alive connections proceed on the event loop.
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.config.read_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(
+                        _response(
+                            408,
+                            {
+                                "error": "request not received within "
+                                f"{self.config.read_timeout}s"
+                            },
+                            close=True,
+                        )
+                    )
+                    await writer.drain()
+                    break
                 except _HttpError as exc:
-                    writer.write(_response(exc.status, {"error": str(exc)}))
+                    writer.write(
+                        _response(exc.status, {"error": str(exc)}, close=True)
+                    )
                     await writer.drain()
                     break
                 if request is None:
@@ -175,11 +239,18 @@ class ReportService:
                         {"error": f"{type(exc).__name__}: {exc}"},
                         None,
                     )
+                if faults is not None:
+                    delay = faults.delay_for("http.delay")
+                    if delay > 0.0:
+                        await asyncio.sleep(delay)
+                    if faults.fires("http.drop"):
+                        break  # simulate the response lost on the wire
                 writer.write(_response(status, payload, retry_after=retry))
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -241,16 +312,26 @@ class ReportService:
                 raise _HttpError(
                     400, f"{content_type!r} body is not valid UTF-8"
                 ) from None
+        # Exactly-once contract: the client's Idempotency-Key when given,
+        # the body's content digest otherwise. A replayed upload is acked
+        # again (200) with its original count and nothing is re-ingested.
+        key = headers.get("idempotency-key", "").strip() or frame_digest(body)
         loop = asyncio.get_running_loop()
         try:
-            accepted = await loop.run_in_executor(
-                self._submit_pool, self.collector.submit_feed, feed, round_id
+            receipt = await loop.run_in_executor(
+                self._submit_pool,
+                functools.partial(
+                    self.collector.submit, feed, round_id, key=key
+                ),
             )
         except ServiceOverloadError as exc:
             return 429, {"error": str(exc)}, 1
+        except IdempotencyConflictError as exc:
+            raise _HttpError(409, str(exc)) from None
         except ValueError as exc:
             raise _HttpError(400, str(exc)) from None
-        return 202, {"round": round_id, "accepted": accepted}, None
+        status = 200 if receipt.replayed else 202
+        return status, receipt.to_dict(), None
 
     async def _handle_estimate(
         self, round_id: str

@@ -15,9 +15,14 @@ summarized as p50/p95/p99 alongside sustained reports/sec;
 ``benchmarks/bench_perf_service.py`` checks the numbers into
 ``benchmarks/BENCH_service.json``.
 
-Backpressure is part of the contract: a 429 is counted, backed off, and
-the frame is retried — never dropped — so the total accepted report
-count is deterministic even when the ingest tier throttles.
+Backpressure and faults are part of the contract: a 429 is counted,
+backed off through a shared :class:`~repro.service.faults.RetryPolicy`
+(capped exponential, deterministic jitter, ``Retry-After`` honored), and
+the frame is retried — never dropped. Every upload carries an
+``Idempotency-Key``, so a retry after a dropped connection or lost ack
+is acked as a replay instead of double-ingesting: the total accepted
+report count is deterministic even when the service throttles, delays,
+or drops responses mid-run.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.service.faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.tasks.plan import AnalysisPlan
 from repro.tasks.planner import PlannedAnalysis, plan_analysis
 from repro.tasks.session import Session
@@ -121,6 +127,8 @@ class LoadReport:
     latencies_ms: list[float] = field(repr=False, default_factory=list)
     n_throttled: int = 0
     n_errors: int = 0
+    n_replayed: int = 0
+    n_conn_drops: int = 0
 
     @property
     def reports_per_second(self) -> float:
@@ -146,6 +154,8 @@ class LoadReport:
             ),
             "n_throttled": self.n_throttled,
             "n_errors": self.n_errors,
+            "n_replayed": self.n_replayed,
+            "n_conn_drops": self.n_conn_drops,
         }
 
 
@@ -157,27 +167,38 @@ async def http_request(
     *,
     body: bytes = b"",
     content_type: str = "application/x-repro-frame",
+    headers: dict[str, str] | None = None,
+    response_headers: dict[str, str] | None = None,
     reader: asyncio.StreamReader | None = None,
     writer: asyncio.StreamWriter | None = None,
 ) -> tuple[int, bytes, asyncio.StreamReader, asyncio.StreamWriter]:
     """One HTTP/1.1 request over a (reusable) keep-alive connection.
 
     Returns ``(status, body, reader, writer)``; pass the reader/writer
-    back in to reuse the connection. The stdlib-only counterpart of the
+    back in to reuse the connection. ``headers`` adds request headers
+    (e.g. ``Idempotency-Key``); pass a dict as ``response_headers`` to
+    receive the response's headers (lower-cased names) — the retry loop
+    reads ``Retry-After`` from it. The stdlib-only counterpart of the
     server's handler — the loadgen's whole client stack.
     """
     if reader is None or writer is None:
         reader, writer = await asyncio.open_connection(host, port)
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
     head = (
         f"{method} {path} HTTP/1.1\r\n"
         f"Host: {host}:{port}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: keep-alive\r\n\r\n"
     )
     writer.write(head.encode("ascii") + body)
     await writer.drain()
     status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionResetError("connection closed before response")
     status = int(status_line.split(b" ", 2)[1])
     length = 0
     while True:
@@ -185,6 +206,8 @@ async def http_request(
         if line in (b"\r\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
+        if response_headers is not None:
+            response_headers[name.strip().lower()] = value.strip()
         if name.strip().lower() == "content-length":
             length = int(value.strip())
     payload = await reader.readexactly(length) if length else b""
@@ -195,10 +218,10 @@ async def _uploader(
     host: str,
     port: int,
     path: str,
-    frames: "asyncio.Queue[tuple[bytes, int] | None]",
+    frames: "asyncio.Queue[tuple[bytes, int, str] | None]",
     report: LoadReport,
     *,
-    max_retries: int = 200,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> None:
     reader: asyncio.StreamReader | None = None
     writer: asyncio.StreamWriter | None = None
@@ -207,28 +230,59 @@ async def _uploader(
             item = await frames.get()
             if item is None:
                 return
-            frame, _n = item
-            for attempt in range(max_retries):
+            frame, _n, key = item
+            for attempt in range(policy.attempts):
                 started = time.perf_counter()
-                status, payload, reader, writer = await http_request(
-                    host, port, "POST", path, body=frame,
-                    reader=reader, writer=writer,
-                )
+                response_headers: dict[str, str] = {}
+                try:
+                    status, payload, reader, writer = await http_request(
+                        host, port, "POST", path, body=frame,
+                        headers={"Idempotency-Key": key},
+                        response_headers=response_headers,
+                        reader=reader, writer=writer,
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    # The connection died mid-request (response lost on
+                    # the wire). The idempotency key makes the retry
+                    # safe: if the server accepted before the drop, the
+                    # retry is acked as a replay, never re-ingested.
+                    if writer is not None:
+                        writer.close()
+                    reader = writer = None
+                    report.n_conn_drops += 1
+                    await asyncio.sleep(policy.delay(attempt))
+                    continue
                 report.latencies_ms.append(
                     (time.perf_counter() - started) * 1000.0
                 )
-                if status == 202:
+                if status in (200, 202):
+                    # 200 = replay ack: the original accept's response was
+                    # lost, so this client never counted it — count the
+                    # (original) accepted total exactly once, here.
                     report.n_uploads += 1
                     report.n_reports_accepted += json.loads(payload)["accepted"]
+                    if status == 200:
+                        report.n_replayed += 1
                     break
                 if status == 429:
-                    # Backpressure: count it, give the shard workers a
-                    # beat to drain, retry the same frame.
+                    # Backpressure: count it, back off on the shared
+                    # policy (honoring the server's Retry-After when it
+                    # asks for longer), retry the same frame.
                     report.n_throttled += 1
-                    await asyncio.sleep(0.005 * min(attempt + 1, 10))
+                    retry_after = response_headers.get("retry-after")
+                    await asyncio.sleep(
+                        policy.delay(
+                            attempt,
+                            retry_after=(
+                                float(retry_after) if retry_after else None
+                            ),
+                        )
+                    )
                     continue
                 report.n_errors += 1
                 break
+            else:
+                report.n_errors += 1  # attempt budget exhausted
     finally:
         if writer is not None:
             writer.close()
@@ -241,24 +295,26 @@ async def _run_load_async(
     frames: Iterable[tuple[bytes, int]],
     *,
     concurrency: int,
+    policy: RetryPolicy,
 ) -> LoadReport:
     report = LoadReport(
         n_users=0, n_uploads=0, n_reports_accepted=0, elapsed_seconds=0.0
     )
     path = f"/v1/rounds/{round_id}/reports"
-    queue: asyncio.Queue[tuple[bytes, int] | None] = asyncio.Queue(
+    queue: asyncio.Queue[tuple[bytes, int, str] | None] = asyncio.Queue(
         maxsize=2 * concurrency
     )
     uploaders = [
         asyncio.ensure_future(
-            _uploader(host, port, path, queue, report)
+            _uploader(host, port, path, queue, report, policy=policy)
         )
         for _ in range(concurrency)
     ]
     started = time.perf_counter()
-    for frame, n in frames:
+    for index, (frame, n) in enumerate(frames):
         report.n_users += n
-        await queue.put((frame, n))
+        # One stable key per upload, carried across every retry of it.
+        await queue.put((frame, n, f"load-{round_id}-{index}"))
     for _ in uploaders:
         await queue.put(None)
     await asyncio.gather(*uploaders)
@@ -277,6 +333,7 @@ def run_load(
     concurrency: int = 8,
     rng: RngLike = None,
     planned: PlannedAnalysis | None = None,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> LoadReport:
     """Synthesize ``n_users`` clients and upload them concurrently.
 
@@ -284,7 +341,10 @@ def run_load(
     uploader connections against a running service; blocks until every
     frame is accepted and returns the :class:`LoadReport`. Frame
     synthesis is streamed through a bounded queue, so generator and
-    uploaders overlap without ever materializing the full feed.
+    uploaders overlap without ever materializing the full feed. Retries
+    (backpressure and dropped connections alike) follow ``retry_policy``
+    and carry per-upload idempotency keys, so the accepted totals are
+    exactly-once whatever the fault pattern.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -292,5 +352,8 @@ def run_load(
         plan, round_id, n_users, batch_size=batch_size, rng=rng, planned=planned
     )
     return asyncio.run(
-        _run_load_async(host, port, round_id, frames, concurrency=concurrency)
+        _run_load_async(
+            host, port, round_id, frames,
+            concurrency=concurrency, policy=retry_policy,
+        )
     )

@@ -68,11 +68,32 @@ class HashRing:
         self._points = [p for p, _ in points]
         self._owners = [s for _, s in points]
 
-    def shard_for(self, round_id: str, attr: str) -> int:
-        """The shard id owning ``(round_id, attr)``."""
+    def shard_for(
+        self,
+        round_id: str,
+        attr: str,
+        *,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> int:
+        """The shard id owning ``(round_id, attr)``.
+
+        ``exclude`` routes around dead shards: the ring is walked
+        clockwise past excluded owners, so every healthy participant
+        agrees on the same fallback without coordination — and when the
+        excluded shard recovers, keys snap back to their home placement.
+        Raises ``ValueError`` when every shard is excluded.
+        """
         key = stable_hash("key", round_id, attr)
         index = bisect_right(self._points, key) % len(self._points)
-        return self._owners[index]
+        if not exclude:
+            return self._owners[index]
+        if len(exclude) >= self.n_shards:
+            raise ValueError("all shards are excluded; nothing can own the key")
+        for step in range(len(self._points)):
+            owner = self._owners[(index + step) % len(self._points)]
+            if owner not in exclude:
+                return owner
+        raise ValueError("all shards are excluded; nothing can own the key")
 
 
 def merge_tree(servers: Sequence[CollectionServer]) -> CollectionServer:

@@ -735,3 +735,111 @@ class TestState001:
             tmp_path, STATE_SUB_BAD, rel="protocol/test_agg.py"
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# FT001
+# ----------------------------------------------------------------------
+
+SWALLOW_BAD = (
+    "def drain(queue):\n"
+    "    while True:\n"
+    "        block = queue.get()\n"
+    "        try:\n"
+    "            fold(block)\n"
+    "        except Exception:\n"
+    "            pass\n"
+)
+
+
+class TestFt001:
+    def test_swallowed_drain_loop_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, SWALLOW_BAD, rel="service/core.py")
+        assert codes(findings) == ["FT001"]
+        assert "swallows" in findings[0].message
+
+    def test_bare_except_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        return None\n",
+            rel="service/http.py",
+        )
+        assert codes(findings) == ["FT001"]
+
+    def test_tuple_containing_broad_flagged(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, Exception):\n"
+            "        return None\n",
+            rel="service/core.py",
+        )
+        assert codes(findings) == ["FT001"]
+
+    def test_error_counter_update_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "class Shard:\n"
+            "    def drain(self, queue):\n"
+            "        try:\n"
+            "            fold(queue.get())\n"
+            "        except Exception:\n"
+            "            self._counters.errors += 1\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_bound_exception_recorded_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "class Shard:\n"
+            "    def drain(self, queue):\n"
+            "        try:\n"
+            "            fold(queue.get())\n"
+            "        except Exception as exc:\n"
+            "            self.last = repr(exc)\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_reraise_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        cleanup()\n"
+            "        raise\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_narrow_handler_ok(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import queue\n"
+            "def f(q):\n"
+            "    try:\n"
+            "        q.put_nowait(None)\n"
+            "    except queue.Full:\n"
+            "        pass\n",
+            rel="service/core.py",
+        )
+        assert findings == []
+
+    def test_non_service_modules_not_checked(self, tmp_path):
+        findings, _ = lint_source(tmp_path, SWALLOW_BAD, rel="engine/solve.py")
+        assert findings == []
+
+    def test_test_modules_not_checked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, SWALLOW_BAD, rel="service/test_core.py"
+        )
+        assert findings == []

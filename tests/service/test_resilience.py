@@ -1,0 +1,389 @@
+"""Durable journals, checkpoints, idempotent ingest, and crash recovery.
+
+The headline property: for seeded fault plans crashing the service at
+*any* journal/commit boundary, a recovered collector's estimates are
+**bit-identical** (JSON-equal) to a fault-free run's, and client retries
+through idempotency keys are exactly-once — duplicates and lost acks
+change nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.service import (
+    DedupLedger,
+    Fault,
+    FaultPlan,
+    IdempotencyConflictError,
+    IngestReceipt,
+    InjectedFault,
+    MetaJournal,
+    ServiceConfig,
+    ShardJournal,
+    ShardedCollector,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.service.loadgen import synthesize_frames
+from repro.tasks import AnalysisPlan, AttributeSpec, Distribution, Mean
+
+# Injected crashes deliberately kill threads mid-flight; pytest's
+# thread-exception relay is expected noise for this suite.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+CRASH_SITES = (
+    "journal.append.before",
+    "journal.append.after",
+    "journal.truncate",
+    "meta.commit.before",
+    "meta.commit.after",
+)
+
+
+def make_plan() -> AnalysisPlan:
+    return AnalysisPlan(
+        epsilon=2.0,
+        attributes=(
+            AttributeSpec("age", low=0.0, high=100.0, d=16),
+            AttributeSpec("income", low=0.0, high=1e5, d=16),
+        ),
+        tasks=(Distribution("age"), Mean("income")),
+    )
+
+
+def keyed_uploads(plan, round_id="r1", n_users=1500, seed=7, batch=300):
+    """``(key, frame)`` uploads — one stable idempotency key per frame."""
+    frames = synthesize_frames(
+        plan, round_id, n_users, batch_size=batch, rng=seed
+    )
+    return [
+        (f"up-{round_id}-{index}", frame)
+        for index, (frame, _n) in enumerate(frames)
+    ]
+
+
+def estimates_of(collector, round_id="r1") -> str:
+    collector.flush()
+    return json.dumps(collector.estimate(round_id)["estimates"], sort_keys=True)
+
+
+def config_for(tmp_path, *, faults=None, **kwargs) -> ServiceConfig:
+    return ServiceConfig(
+        plan=make_plan(),
+        n_shards=3,
+        journal_dir=tmp_path / "wal",
+        faults=faults,
+        **kwargs,
+    )
+
+
+def fault_free_baseline(tmp_path, uploads, round_id="r1") -> str:
+    with ShardedCollector(config_for(tmp_path / "baseline")) as collector:
+        for key, frame in uploads:
+            collector.submit(frame, round_id, key=key)
+        return estimates_of(collector, round_id)
+
+
+# ----------------------------------------------------------------------
+# journal primitives
+# ----------------------------------------------------------------------
+
+
+class TestShardJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.journal")
+        records = [(f"k{i}", bytes([i]) * (10 + i)) for i in range(5)]
+        for key, segment in records:
+            journal.append(key, segment)
+        got = [(r.key, bytes(r.segment)) for r in journal.replay()]
+        assert got == records
+        assert journal.good_offset() == journal.size
+        journal.close()
+
+    def test_torn_tail_is_detected_and_truncated(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.journal")
+        journal.append("good", b"A" * 32)
+        good = journal.size
+        journal.append("torn", b"B" * 32)
+        journal.close()
+        # Tear the second record: keep only part of it on disk.
+        raw = (tmp_path / "s.journal").read_bytes()
+        (tmp_path / "s.journal").write_bytes(raw[: good + 11])
+        journal = ShardJournal(tmp_path / "s.journal")
+        assert [r.key for r in journal.replay()] == ["good"]
+        assert journal.good_offset() == good
+        journal.truncate_to(good)
+        assert journal.size == good
+        journal.close()
+
+    def test_corrupt_record_stops_replay(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.journal")
+        journal.append("one", b"A" * 32)
+        good = journal.size
+        journal.append("two", b"B" * 32)
+        journal.close()
+        raw = bytearray((tmp_path / "s.journal").read_bytes())
+        raw[-5] ^= 0xFF  # flip a byte inside the second record's payload
+        (tmp_path / "s.journal").write_bytes(bytes(raw))
+        journal = ShardJournal(tmp_path / "s.journal")
+        assert [r.key for r in journal.replay()] == ["one"]
+        assert journal.good_offset() == good
+        journal.close()
+
+    def test_replay_from_offset(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.journal")
+        offset = journal.append("one", b"A" * 8)
+        journal.append("two", b"B" * 8)
+        assert [r.key for r in journal.replay(offset)] == ["two"]
+        journal.close()
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.journal")
+        journal.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            journal.append("k", b"x")
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            ShardJournal(tmp_path / "s.journal", fsync="sometimes")
+
+
+class TestMetaJournal:
+    def test_commit_advance_roundtrip(self, tmp_path):
+        meta = MetaJournal(tmp_path / "meta.log")
+        receipt = IngestReceipt("r1", "up-1", "abcd", 300)
+        meta.commit(receipt)
+        meta.advance("r1", [10, 20, 30])
+        records = meta.read()
+        assert [r["kind"] for r in records] == ["commit", "advance"]
+        assert records[0]["key"] == "up-1"
+        assert records[0]["accepted"] == 300
+        assert records[1]["offsets"] == [10, 20, 30]
+        meta.close()
+
+    def test_torn_line_stops_read(self, tmp_path):
+        meta = MetaJournal(tmp_path / "meta.log")
+        meta.commit(IngestReceipt("r1", "up-1", "abcd", 10))
+        meta.close()
+        with open(tmp_path / "meta.log", "ab") as f:
+            f.write(b"deadbeef {not json")  # no digest match, no newline
+        meta = MetaJournal(tmp_path / "meta.log")
+        assert [r["key"] for r in meta.read()] == ["up-1"]
+        meta.close()
+
+    def test_rewrite_replaces_contents(self, tmp_path):
+        meta = MetaJournal(tmp_path / "meta.log")
+        meta.commit(IngestReceipt("r1", "a", "d1", 1))
+        meta.commit(IngestReceipt("r1", "b", "d2", 2))
+        records = meta.read()
+        meta.rewrite(records[-1:])
+        assert [r["key"] for r in meta.read()] == ["b"]
+        meta.close()
+
+
+class TestDedupLedger:
+    def test_lookup_miss_then_replay_hit(self):
+        ledger = DedupLedger(capacity=4)
+        assert ledger.lookup("k", "d") is None
+        ledger.record(IngestReceipt("r1", "k", "d", 42))
+        replay = ledger.lookup("k", "d")
+        assert replay is not None
+        assert replay.replayed is True
+        assert replay.accepted == 42
+
+    def test_key_reuse_with_different_digest_conflicts(self):
+        ledger = DedupLedger(capacity=4)
+        ledger.record(IngestReceipt("r1", "k", "d1", 42))
+        with pytest.raises(IdempotencyConflictError):
+            ledger.lookup("k", "d2")
+
+    def test_lru_eviction_is_bounded(self):
+        ledger = DedupLedger(capacity=2)
+        for i in range(5):
+            ledger.record(IngestReceipt("r1", f"k{i}", f"d{i}", i))
+        assert len(ledger) == 2
+        assert ledger.lookup("k0", "d0") is None  # evicted
+        assert ledger.lookup("k4", "d4") is not None
+
+
+class TestCheckpointFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "shard-0.ckpt"
+        write_checkpoint(
+            path,
+            journal_offset=128,
+            states={"r1": {"age": {"n": 10}}},
+            counters={"blocks": 3, "reports": 10, "errors": 0},
+        )
+        ckpt = load_checkpoint(path)
+        assert ckpt is not None
+        assert ckpt["journal_offset"] == 128
+        assert ckpt["states"] == {"r1": {"age": {"n": 10}}}
+        assert ckpt["counters"]["reports"] == 10
+
+    def test_missing_or_corrupt_means_full_replay(self, tmp_path):
+        path = tmp_path / "shard-0.ckpt"
+        assert load_checkpoint(path) is None
+        write_checkpoint(path, journal_offset=0, states={})
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert load_checkpoint(path) is None
+
+
+# ----------------------------------------------------------------------
+# restart + recovery
+# ----------------------------------------------------------------------
+
+
+class TestRestartBitIdentity:
+    def test_plain_restart_is_bit_identical(self, tmp_path):
+        uploads = keyed_uploads(make_plan())
+        config = config_for(tmp_path)
+        with ShardedCollector(config) as collector:
+            for key, frame in uploads:
+                collector.submit(frame, "r1", key=key)
+            before = estimates_of(collector)
+        with ShardedCollector(config) as recovered:
+            stats = recovered.stats()
+            assert stats["uploads_accepted"] == len(uploads)
+            assert stats["journal"]["recovered_records"] >= len(uploads)
+            assert estimates_of(recovered) == before
+
+    def test_replay_acks_survive_restart(self, tmp_path):
+        uploads = keyed_uploads(make_plan())
+        config = config_for(tmp_path)
+        with ShardedCollector(config) as collector:
+            receipts = [
+                collector.submit(frame, "r1", key=key)
+                for key, frame in uploads
+            ]
+            assert all(not r.replayed for r in receipts)
+            before = estimates_of(collector)
+        with ShardedCollector(config) as recovered:
+            for key, frame in uploads:  # the client retries everything
+                receipt = recovered.submit(frame, "r1", key=key)
+                assert receipt.replayed is True
+            assert recovered.stats()["uploads_accepted"] == len(uploads)
+            assert estimates_of(recovered) == before
+
+    def test_checkpoint_bounds_the_replay_tail(self, tmp_path):
+        uploads = keyed_uploads(make_plan())
+        config = config_for(tmp_path, checkpoint_every=2, dedup_capacity=64)
+        with ShardedCollector(config) as collector:
+            for key, frame in uploads:
+                collector.submit(frame, "r1", key=key)
+            before = estimates_of(collector)
+        with ShardedCollector(config) as recovered:
+            # Most of the journal is absorbed by checkpoints: only the
+            # post-checkpoint tail replays.
+            tail = recovered.stats()["journal"]["recovered_records"]
+            assert tail < len(uploads)
+            assert estimates_of(recovered) == before
+
+    def test_duplicates_change_nothing(self, tmp_path):
+        """Identical results with and without client retries."""
+        uploads = keyed_uploads(make_plan())
+        baseline = fault_free_baseline(tmp_path, uploads)
+        with ShardedCollector(config_for(tmp_path / "dup")) as collector:
+            for key, frame in uploads:
+                first = collector.submit(frame, "r1", key=key)
+                again = collector.submit(frame, "r1", key=key)
+                assert first.replayed is False
+                assert again.replayed is True
+                assert again.accepted == first.accepted
+            assert collector.stats()["uploads_accepted"] == len(uploads)
+            assert collector.stats()["dedup"]["replays_served"] == len(uploads)
+            assert estimates_of(collector) == baseline
+
+
+class TestCrashRecoveryProperty:
+    """Crash at every journal/commit boundary; recovery is bit-identical."""
+
+    @pytest.mark.parametrize("site", CRASH_SITES)
+    @pytest.mark.parametrize("at", [1, 3])
+    def test_single_crash_at_boundary(self, tmp_path, site, at):
+        uploads = keyed_uploads(make_plan())
+        baseline = fault_free_baseline(tmp_path, uploads)
+        config = config_for(
+            tmp_path / "crash", faults=FaultPlan([Fault(site, at=at)])
+        )
+        collector = ShardedCollector(config)
+        crashes = replays = 0
+        try:
+            for key, frame in uploads:
+                while True:
+                    try:
+                        receipt = collector.submit(frame, "r1", key=key)
+                    except InjectedFault:
+                        # Simulated process death: abandon the collector
+                        # and restart from checkpoint + journal.
+                        crashes += 1
+                        collector.close()
+                        collector = ShardedCollector(config)
+                        continue
+                    replays += receipt.replayed
+                    break
+            assert crashes == 1
+            assert estimates_of(collector) == baseline
+            assert collector.stats()["uploads_accepted"] == len(uploads)
+            if site == "meta.commit.after":
+                # Committed before the crash: the retry is a replay ack.
+                assert replays == 1
+            else:
+                # Rolled back: the retry re-ingests, nothing is doubled.
+                assert replays == 0
+        finally:
+            collector.close()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_seeded_random_crash_storm(self, tmp_path, seed):
+        uploads = keyed_uploads(make_plan())
+        baseline = fault_free_baseline(tmp_path, uploads)
+        faults = FaultPlan(
+            [Fault(site, prob=0.12, times=None) for site in CRASH_SITES],
+            seed=seed,
+        )
+        config = config_for(tmp_path / "storm", faults=faults)
+        collector = ShardedCollector(config)
+        crashes = 0
+        try:
+            for key, frame in uploads:
+                for _ in range(200):
+                    try:
+                        collector.submit(frame, "r1", key=key)
+                        break
+                    except InjectedFault:
+                        crashes += 1
+                        collector.close()
+                        collector = ShardedCollector(config)
+                else:  # pragma: no cover - fault storm never let one through
+                    pytest.fail("upload never survived the fault storm")
+            assert crashes > 0  # the storm actually stormed
+            assert estimates_of(collector) == baseline
+            assert collector.stats()["uploads_accepted"] == len(uploads)
+        finally:
+            collector.close()
+
+
+class TestWindowedRecovery:
+    def test_windowed_restart_replays_ticks_bit_identically(self, tmp_path):
+        plan = make_plan()
+        config = config_for(tmp_path, window=2)
+        with ShardedCollector(config) as collector:
+            for round_id in ("r1", "r2", "r3"):
+                for key, frame in keyed_uploads(
+                    plan, round_id=round_id, n_users=600, seed=4
+                ):
+                    collector.submit(frame, round_id, key=key)
+                collector.advance_window(round_id)
+            before = json.dumps(collector.window_estimate(), sort_keys=True)
+        with ShardedCollector(config) as recovered:
+            after = json.dumps(recovered.window_estimate(), sort_keys=True)
+            assert after == before
+            # The advance-once guard survives recovery too.
+            with pytest.raises(ValueError, match="already advanced"):
+                recovered.advance_window("r3")
